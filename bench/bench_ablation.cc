@@ -1,0 +1,140 @@
+// Ablations of design choices the paper calls out.
+//
+// A1 — reset-coupled table loads (section 7): "The most significant change
+// would be to allow the control processor to update the forwarding table
+// without first resetting the switch.  Resetting destroys all packets in
+// the switch.  Coupling resetting with reloading causes the initial
+// forwarding table reload of a reconfiguration to destroy some
+// tree-position packets, thus making reconfiguration take longer."  We
+// compare reconfiguration times and in-flight packet survival with the
+// prototype behaviour and with the proposed improved hardware.
+//
+// A2 — alternate host ports sending `host` flow control (section 7):
+// "Another hardware change would be to make host controllers transmit the
+// host flow control directive on the alternate port.  This change would
+// make it simpler for Autopilot to detect switch ports that are connected
+// to alternate host ports."  We measure how long an alternate port takes
+// to classify as s.host under both designs.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/network.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+void ResetAblation(bool reset_on_load) {
+  NetworkConfig config;
+  config.switch_config.reset_on_table_load = reset_on_load;
+  Network net(MakeSrcLan(20), config);
+  net.Boot();
+  if (!net.WaitForConsistency(10 * 60 * kSecond, 200 * kMillisecond) ||
+      !net.WaitForHostsRegistered(net.sim().now() + 60 * kSecond)) {
+    bench::Row("  %-22s FAILED", reset_on_load ? "reset (prototype)" : "no reset");
+    return;
+  }
+
+  // Keep background traffic flowing, then cut a trunk and count losses.
+  auto pump = [&](Tick duration, int* sent) {
+    Tick end = net.sim().now() + duration;
+    while (net.sim().now() < end) {
+      for (int h = 0; h < net.num_hosts(); h += 2) {
+        if (net.SendData(h, (h + 7) % net.num_hosts(), 1000)) {
+          ++*sent;
+        }
+      }
+      net.Run(4 * kMillisecond);
+    }
+  };
+  net.ClearInboxes();
+  int sent = 0;
+  pump(100 * kMillisecond, &sent);
+  net.CutCable(0);
+  pump(kSecond, &sent);
+  net.WaitForConsistency(net.sim().now() + 10 * 60 * kSecond,
+                         200 * kMillisecond);
+  net.Run(100 * kMillisecond);
+
+  int delivered = 0;
+  int damaged = 0;
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    for (const Delivery& d : net.inbox(h)) {
+      delivered += d.intact() ? 1 : 0;
+      damaged += d.intact() ? 0 : 1;
+    }
+  }
+  std::uint64_t resets = 0;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    resets += net.switch_at(i).stats().resets;
+  }
+  bench::Row("  %-22s %9.0f ms %10d/%d %9d %12llu",
+             reset_on_load ? "reset (prototype)" : "no reset (proposed)",
+             bench::Ms(net.LastReconfig().Duration()), delivered, sent,
+             damaged, static_cast<unsigned long long>(resets));
+}
+
+void AlternatePortAblation(bool host_directive_on_alternate) {
+  NetworkConfig config;
+  config.host_config.host_directive_on_alternate = host_directive_on_alternate;
+  TopoSpec spec;
+  spec.AddSwitch();
+  spec.AddSwitch();
+  spec.Cable(0, 1);
+  spec.AddHost(0, 1);  // the alternate port lands on switch 1
+  const TopoSpec::HostSpec host = spec.hosts[0];
+  Network net(std::move(spec), config);
+  net.Boot();
+  Tick start = net.sim().now();
+  Tick classified = -1;
+  while (net.sim().now() < 30 * kSecond) {
+    net.Run(5 * kMillisecond);
+    if (net.autopilot_at(host.alt_switch).port_state(host.alt_port) ==
+        PortState::kHost) {
+      classified = net.sim().now() - start;
+      break;
+    }
+  }
+  // Which rule classified it?  The switch log records the transition.
+  const char* rule = "?";
+  for (const LogEntry& e :
+       net.switch_at(host.alt_switch).log().entries()) {
+    if (e.message.find("-> s.host") != std::string::npos) {
+      rule = e.message.find("alternate host pattern") != std::string::npos
+                 ? "BadSyntax heuristic"
+                 : "IsHost status bit";
+    }
+  }
+  bench::Row("  %-34s %8.0f ms   classified via %s",
+             host_directive_on_alternate ? "host directive on alternate"
+                                         : "sync-only alternate (shipped)",
+             bench::Ms(classified), rule);
+}
+
+}  // namespace
+}  // namespace autonet
+
+int main() {
+  using namespace autonet;
+  bench::Title("A1", "ablation: reset-coupled forwarding-table loads (sec 7)");
+  bench::Row("  %-22s %12s %12s %10s %13s", "hardware", "reconfig",
+             "delivered", "damaged", "switch resets");
+  ResetAblation(/*reset_on_load=*/true);
+  ResetAblation(/*reset_on_load=*/false);
+  bench::Row("\nshape check: without destructive reloads no switch resets");
+  bench::Row("occur and no packets arrive truncated by a mid-flight reset.");
+  bench::Row("Most of the loss during the outage window is routing discards");
+  bench::Row("either way, and the reliable-retransmission layer hides the");
+  bench::Row("destroyed tree-position packets, so reconfiguration time is");
+  bench::Row("similar — the change buys hitless *incremental* table updates");
+  bench::Row("(e.g. the local host-port patches) rather than speed.");
+
+  bench::Title("A2", "ablation: alternate-port flow-control directive (sec 7)");
+  AlternatePortAblation(false);
+  AlternatePortAblation(true);
+  bench::Row("\nshape check: both designs classify within a couple of status");
+  bench::Row("samples, but the shipped hardware must infer a host from the");
+  bench::Row("fragile 'constant BadSyntax, nothing else' pattern, while the");
+  bench::Row("proposed change reads it directly off the IsHost status bit.");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// E7 — The broadcast deadlock of Figure 9 (section 6.6.6) and its fix.
+//
+// Five switches V,W,X,Y,Z with spanning tree links V-W and V-X (V is the
+// root), tree links W-Y and X-Z, and the cross link Y-Z; hosts A on V, B on
+// W, C on Z.  B sends a long packet to C along the legal route B-W-Y-Z-C
+// while A floods a broadcast down the tree.  The broadcast seizes link Z-C
+// first; B's packet therefore stalls at Z while its tail still occupies
+// W-Y; the broadcast in turn needs W-Y at switch W, fills the FIFO, and
+// flow control back-pressures V — which also stops the V-X-Z-C copy of the
+// broadcast: deadlock.
+//
+// Autonet's fix: a transmitter of a broadcast packet ignores `stop` until
+// the end of the packet (and FIFOs are big enough to absorb one maximal
+// broadcast).  With the fix disabled the fabric wedges — until the status
+// sampler's progress monitoring declares the blocked ports dead and a
+// reconfiguration clears the wreckage, which we also report.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/network.h"
+#include "src/host/ethernet.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+TopoSpec Figure9Topology() {
+  TopoSpec spec;
+  int v = spec.AddSwitch("V");
+  int w = spec.AddSwitch("W");
+  int x = spec.AddSwitch("X");
+  int y = spec.AddSwitch("Y");
+  int z = spec.AddSwitch("Z");
+  spec.Cable(v, w);
+  spec.Cable(v, x);
+  spec.Cable(w, y);
+  spec.Cable(x, z);
+  spec.Cable(y, z);
+  spec.AddHost(v);  // A
+  spec.AddHost(w);  // B
+  spec.AddHost(z);  // C
+  spec.AddHost(y);  // D, whose traffic briefly occupies Y-Z and Z-C
+  return spec;
+}
+
+struct Outcome {
+  bool long_packet_delivered = false;
+  bool broadcast_delivered_to_c = false;
+  Tick wedged_for = 0;        // longest period with no delivery progress
+  bool recovered = false;     // the monitoring plane cleared the wedge
+  std::uint64_t port_deaths = 0;
+};
+
+Outcome RunScenario(bool ignore_stop_fix) {
+  NetworkConfig config;
+  config.switch_config.broadcast_ignores_stop = ignore_stop_fix;
+  // The broken configuration is the pre-broadcast-fix hardware: 1024-byte
+  // FIFOs (sufficient for unicast per section 6.2) and stop obeyed always.
+  // The fix pairs ignore-stop with the 4096-byte FIFO.
+  config.switch_config.fifo_capacity = ignore_stop_fix ? 4096 : 1024;
+  Network net(Figure9Topology(), config);
+  net.Boot();
+  if (!net.WaitForConsistency(5 * 60 * kSecond) ||
+      !net.WaitForHostsRegistered(net.sim().now() + 60 * kSecond)) {
+    return {};
+  }
+  net.ClearInboxes();
+
+  // D -> C: a medium packet that occupies Y-Z and then Z-C for ~170 us,
+  // so B's packet will stall mid-route with its tail strung across W-Y.
+  net.SendData(3, 2, 2000);
+  net.Run(10 * kMicrosecond);
+  // B -> C: the long packet (60 KB); its head waits at Y behind D's
+  // packet while it holds the W-Y link.
+  net.SendData(1, 2, 60000);
+  net.Run(110 * kMicrosecond);
+  // A's broadcast floods down the tree: the V->X->Z copy reaches Z while
+  // Z-C is still busy and queues *ahead* of B's delayed packet, so the
+  // broadcast seizes Z-C; the V->W copy needs the W-Y link that B holds.
+  Packet bcast;
+  bcast.dest = kAddrBroadcastHosts;
+  bcast.type = PacketType::kEthernetEncap;
+  bcast.dest_uid = Uid(kEthernetBroadcastUid);
+  bcast.payload.assign(kMaxBridgedData, 0xBB);
+  net.driver_at(0).Send(std::move(bcast));
+
+  Outcome outcome;
+  Tick last_progress = net.sim().now();
+  std::size_t last_count = 0;
+  const Tick deadline = net.sim().now() + 30 * kSecond;
+  while (net.sim().now() < deadline) {
+    net.Run(10 * kMillisecond);
+    std::size_t count = net.inbox(2).size();
+    if (count != last_count) {
+      last_count = count;
+      last_progress = net.sim().now();
+    }
+    outcome.wedged_for =
+        std::max(outcome.wedged_for, net.sim().now() - last_progress);
+    bool have_long = false;
+    bool have_bcast = false;
+    for (const Delivery& d : net.inbox(2)) {
+      if (!d.intact()) {
+        continue;
+      }
+      if (d.packet->payload.size() == 60000) {
+        have_long = true;
+      }
+      if (d.packet->dest.IsBroadcast()) {
+        have_bcast = true;
+      }
+    }
+    if (have_long && have_bcast) {
+      outcome.long_packet_delivered = true;
+      outcome.broadcast_delivered_to_c = true;
+      break;
+    }
+  }
+  for (int i = 0; i < net.num_switches(); ++i) {
+    outcome.port_deaths += net.autopilot_at(i).stats().port_deaths;
+  }
+  outcome.recovered = outcome.port_deaths > 0;
+  return outcome;
+}
+
+void Report(const char* name, const Outcome& o) {
+  bench::Row("%-22s  %-9s %-9s %10.1f ms %12llu", name,
+             o.long_packet_delivered ? "yes" : "NO",
+             o.broadcast_delivered_to_c ? "yes" : "NO",
+             bench::Ms(o.wedged_for),
+             static_cast<unsigned long long>(o.port_deaths));
+}
+
+}  // namespace
+}  // namespace autonet
+
+int main() {
+  using namespace autonet;
+  bench::Title("E7", "Figure 9 broadcast deadlock and the ignore-stop fix");
+  bench::Row("%-22s  %-9s %-9s %13s %12s", "flow-control policy",
+             "long pkt", "broadcast", "max wedge", "port deaths");
+  Outcome broken = RunScenario(/*ignore_stop_fix=*/false);
+  Report("obey stop (broken)", broken);
+  Outcome fixed = RunScenario(/*ignore_stop_fix=*/true);
+  Report("ignore stop (fixed)", fixed);
+  bench::Row("\nshape check: with broadcasts obeying stop, the fabric wedges");
+  bench::Row("(Figure 9); deliveries stall until the status sampler kills the");
+  bench::Row("blocked ports and a reconfiguration destroys the stuck packets.");
+  bench::Row("With the section 6.6.6 fix, both packets deliver promptly.");
+  return 0;
+}

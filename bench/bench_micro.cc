@@ -1,0 +1,107 @@
+// Wall-clock microbenchmarks (google-benchmark) for the simulation
+// substrate itself: event queue throughput, FIFO operations, forwarding
+// table lookups, route computation, and end-to-end simulated-seconds per
+// wall-second for a mid-size network.  These guard the *simulator's*
+// performance — the paper-facing measurements live in the other bench
+// binaries.
+#include <benchmark/benchmark.h>
+
+#include "src/core/network.h"
+#include "src/fabric/forwarding_table.h"
+#include "src/fabric/port_fifo.h"
+#include "src/routing/spanning_tree.h"
+#include "src/routing/updown.h"
+#include "src/sim/simulator.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+void BM_SimulatorScheduleDispatch(benchmark::State& state) {
+  Simulator sim;
+  std::uint64_t count = 0;
+  for (auto _ : state) {
+    sim.ScheduleAfter(10, [&count] { ++count; });
+    sim.Step();
+  }
+  benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_SimulatorScheduleDispatch);
+
+void BM_SimulatorPendingHeap(benchmark::State& state) {
+  // Scheduling into a deep queue (the switch-fabric steady state).
+  Simulator sim;
+  for (int i = 0; i < 10000; ++i) {
+    sim.ScheduleAfter(1000000 + i, [] {});
+  }
+  for (auto _ : state) {
+    auto id = sim.ScheduleAfter(500, [] {});
+    sim.Cancel(id);
+  }
+}
+BENCHMARK(BM_SimulatorPendingHeap);
+
+void BM_PortFifoPushPop(benchmark::State& state) {
+  PortFifo fifo(4096);
+  Packet p;
+  p.payload.assign(64, 0);
+  PacketRef pkt = MakePacket(std::move(p));
+  for (auto _ : state) {
+    fifo.PushBegin(pkt);
+    for (int i = 0; i < 64; ++i) {
+      fifo.PushByte();
+    }
+    fifo.PushEnd(EndFlags{});
+    while (fifo.PopByte().has_value()) {
+    }
+    fifo.TryPopEnd();
+  }
+}
+BENCHMARK(BM_PortFifoPushPop);
+
+void BM_ForwardingTableLookup(benchmark::State& state) {
+  ForwardingTable table = ForwardingTable::OneHopOnly();
+  std::uint16_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Lookup(static_cast<PortNum>(addr % 13), ShortAddress(addr)));
+    ++addr;
+  }
+}
+BENCHMARK(BM_ForwardingTableLookup);
+
+void BM_BuildForwardingTable(benchmark::State& state) {
+  TopoSpec spec = MakeTorus(4, 8, 1);
+  NetTopology topo = spec.ExpectedTopology();
+  AssignSwitchNumbers(&topo);
+  SpanningTree tree = ComputeSpanningTree(topo);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BuildForwardingTable(topo, tree, 0));
+  }
+}
+BENCHMARK(BM_BuildForwardingTable);
+
+void BM_SpanningTree30Switches(benchmark::State& state) {
+  TopoSpec spec = MakeSrcLan(0);
+  NetTopology topo = spec.ExpectedTopology();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ComputeSpanningTree(topo));
+  }
+}
+BENCHMARK(BM_SpanningTree30Switches);
+
+void BM_NetworkBootConvergence(benchmark::State& state) {
+  // Simulated seconds of a 12-switch network boot, per wall iteration.
+  for (auto _ : state) {
+    Network net(MakeTorus(3, 4, 1));
+    net.Boot();
+    bool ok = net.WaitForConsistency(5 * 60 * kSecond);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_NetworkBootConvergence)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace autonet
+
+BENCHMARK_MAIN();

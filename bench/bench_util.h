@@ -1,0 +1,36 @@
+// Shared helpers for the benchmark harnesses: table formatting and common
+// measurement drivers.  Each bench binary regenerates one table/figure of
+// the paper's evaluation (see DESIGN.md's experiment index) and prints the
+// paper's reported value next to the measured one.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace autonet {
+namespace bench {
+
+inline void Title(const std::string& id, const std::string& what) {
+  std::printf("\n=== %s: %s ===\n", id.c_str(), what.c_str());
+}
+
+[[gnu::format(printf, 1, 2)]] inline void Row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stdout, fmt, args);
+  va_end(args);
+  std::fputc('\n', stdout);
+}
+
+inline double Ms(Tick t) { return static_cast<double>(t) / 1e6; }
+inline double Us(Tick t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace bench
+}  // namespace autonet
+
+#endif  // BENCH_BENCH_UTIL_H_

@@ -1,0 +1,71 @@
+// The installation-planning workflow the paper wanted site personnel to
+// have (section 7): size a fabric for a host population, check the
+// availability and capacity claims analytically, then *prove them live* by
+// booting the planned network, running traffic, and killing hardware.
+#include <cstdio>
+
+#include "src/core/network.h"
+#include "src/core/traffic.h"
+#include "src/topo/planner.h"
+
+using namespace autonet;
+
+int main() {
+  InstallationRequirements req;
+  req.hosts = 48;
+  req.dual_homed = true;
+  req.growth_headroom = 0.25;
+
+  InstallationPlan plan = PlanInstallation(req);
+  if (!plan.feasible) {
+    std::printf("planning failed: %s\n", plan.error.c_str());
+    return 1;
+  }
+  std::printf("%s\n", plan.Summary().c_str());
+
+  std::printf("commissioning the planned installation...\n");
+  Network net(plan.spec);
+  net.Boot();
+  if (!net.WaitForConsistency(5 * 60 * kSecond, 200 * kMillisecond) ||
+      !net.WaitForHostsRegistered(net.sim().now() + 60 * kSecond)) {
+    std::printf("network failed to converge\n");
+    return 1;
+  }
+  std::printf("  up in %.2f simulated seconds\n\n", net.sim().now() / 1e9);
+
+  // Acceptance test 1: aggregate throughput under permutation load.
+  TrafficGenerator::Config tc;
+  tc.data_bytes = 4000;
+  TrafficGenerator gen(&net, tc);
+  auto report = gen.Run(
+      TrafficGenerator::Permutation(net.num_hosts(), net.num_hosts() / 2),
+      20 * kMillisecond);
+  std::printf("acceptance: permutation traffic\n");
+  std::printf("  aggregate %.0f Mbit/s, %llu/%llu delivered, "
+              "p99 latency %.0f us\n\n",
+              report.delivered_mbps,
+              static_cast<unsigned long long>(report.delivered),
+              static_cast<unsigned long long>(report.sent),
+              report.latency_us.Percentile(99));
+
+  // Acceptance test 2: the availability promise.  Kill a switch; every
+  // host must still be reachable after failover.
+  std::printf("acceptance: single switch failure\n");
+  net.CrashSwitch(plan.switches / 2);
+  net.WaitForConsistency(net.sim().now() + 5 * 60 * kSecond,
+                         200 * kMillisecond);
+  net.Run(15 * kSecond);  // failover timers
+  net.WaitForHostsRegistered(net.sim().now() + 60 * kSecond);
+  int reachable = 0;
+  net.ClearInboxes();
+  for (int h = 1; h < net.num_hosts(); ++h) {
+    net.SendData(0, h, 64);
+  }
+  net.Run(50 * kMillisecond);
+  for (int h = 1; h < net.num_hosts(); ++h) {
+    reachable += net.inbox(h).empty() ? 0 : 1;
+  }
+  std::printf("  %d/%d hosts reachable from host 0 after the crash\n",
+              reachable, net.num_hosts() - 1);
+  return reachable == net.num_hosts() - 1 ? 0 : 1;
+}

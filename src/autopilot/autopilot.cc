@@ -1,0 +1,618 @@
+#include "src/autopilot/autopilot.h"
+
+#include <algorithm>
+
+#include "src/common/serialize.h"
+#include "src/routing/spanning_tree.h"
+#include "src/routing/updown.h"
+
+namespace autonet {
+
+Autopilot::Autopilot(Switch* node, AutopilotConfig config)
+    : node_(node),
+      config_(config),
+      engine_(node->sim(), node->uid(), &config_, &node->log(),
+              ReconfigEngine::Callbacks{
+                  [this](PortNum p, const ReconfigMsg& m) {
+                    SendReconfigMsg(p, m);
+                  },
+                  [this] { return GoodPorts(); },
+                  [this](PortNum p) { return monitors_[p].neighbor_uid; },
+                  [this](PortNum p) { return monitors_[p].neighbor_port; },
+                  [this] { return HostPorts(); },
+                  [this] { LoadOneHopTable(); },
+                  [this](const NetTopology& topo, int self, std::uint64_t e) {
+                    ApplyConfig(topo, self, e);
+                  },
+              }),
+      sampler_task_(node->sim(), [this] { SampleStatus(); }),
+      probe_task_(node->sim(), [this] { ProbePorts(); }),
+      boot_trigger_(node->sim(), [this] { engine_.Trigger("boot"); }) {
+  monitors_.reserve(kPortsPerSwitch);
+  for (int p = 0; p < kPortsPerSwitch; ++p) {
+    monitors_.emplace_back(config_);
+  }
+}
+
+void Autopilot::Boot() {
+  node_->SetCpHandler([this](Delivery d) { OnCpPacket(std::move(d)); });
+  node_->LoadForwardingTable(ForwardingTable::OneHopOnly());
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    node_->SetPortForceIdhy(p, true);  // all ports start s.dead
+    monitors_[p].clean_since = node_->now();
+  }
+  sampler_task_.Start(config_.status_sample_period);
+  probe_task_.Start(config_.probe_period_unknown);
+  boot_trigger_.Start(config_.boot_reconfig_delay);
+  node_->log().Logf(node_->now(), "autopilot: booted");
+}
+
+bool Autopilot::Quiescent() const {
+  return !engine_.in_progress() && cpu_queue_depth_ == 0;
+}
+
+Tick Autopilot::LastActivity() const {
+  Tick last = 0;
+  const ReconfigEngine::Stats& e = engine_.stats();
+  last = std::max({last, e.last_join_time, e.last_config_time,
+                   stats_.last_table_load});
+  if (cpu_queue_depth_ > 0) {
+    last = std::max(last, cpu_busy_until_);
+  }
+  for (const PortMonitor& m : monitors_) {
+    last = std::max(last, m.state_since);
+    // A good-reply streak in progress will transition the port once the
+    // connectivity skeptic is satisfied; count it as pending activity.
+    if (m.state == PortState::kSwitchWho && m.good_streak_start >= 0) {
+      last = std::max(last, m.good_streak_start);
+    }
+  }
+  return last;
+}
+
+void Autopilot::RunOnCpu(Tick cost, std::function<void()> fn) {
+  if (!*powered_) {
+    return;
+  }
+  Tick start = std::max(node_->now(), cpu_busy_until_);
+  cpu_busy_until_ = start + cost;
+  ++cpu_queue_depth_;
+  node_->sim()->ScheduleAt(
+      cpu_busy_until_, [this, guard = powered_, fn = std::move(fn)] {
+        if (!*guard) {
+          return;  // the control processor lost power meanwhile
+        }
+        --cpu_queue_depth_;
+        fn();
+      });
+}
+
+void Autopilot::Shutdown() {
+  *powered_ = false;
+  cpu_queue_depth_ = 0;
+  sampler_task_.Stop();
+  probe_task_.Stop();
+  boot_trigger_.Stop();
+  engine_.Shutdown();
+  node_->SetCpHandler(nullptr);
+  node_->log().Logf(node_->now(), "autopilot: power off");
+}
+
+// --- packet dispatch ---
+
+void Autopilot::OnCpPacket(Delivery delivery) {
+  RunOnCpu(config_.cost_packet_process, [this, d = std::move(delivery)] {
+    if (!d.intact()) {
+      // Software CRC check failed: charge the arrival port (section 6.5.3:
+      // the status sampler counts CRC errors on CP packets).
+      ++stats_.crc_errors;
+      if (d.arrival_port >= kFirstExternalPort &&
+          d.arrival_port < kPortsPerSwitch) {
+        ++monitors_[d.arrival_port].pending_crc_errors;
+      }
+      return;
+    }
+    switch (d.packet->type) {
+      case PacketType::kReconfig:
+        HandleReconfig(d);
+        break;
+      case PacketType::kConnectivity:
+        HandleConnectivity(d);
+        break;
+      case PacketType::kHostAddress:
+        HandleHostAddress(d);
+        break;
+      case PacketType::kSrp:
+        HandleSrp(d);
+        break;
+      case PacketType::kEthernetEncap:
+        break;  // broadcast client traffic reaching the CP: ignored
+    }
+  });
+}
+
+void Autopilot::HandleReconfig(const Delivery& d) {
+  auto msg = ReconfigMsg::Parse(d.packet->payload);
+  if (!msg.has_value() || d.arrival_port < kFirstExternalPort ||
+      d.arrival_port >= kPortsPerSwitch) {
+    return;
+  }
+  engine_.OnMessage(d.arrival_port, *msg);
+}
+
+void Autopilot::SendReconfigMsg(PortNum port, const ReconfigMsg& msg) {
+  RunOnCpu(config_.cost_packet_send, [this, port, msg] {
+    Packet p;
+    p.dest = OneHopAddress(port);
+    p.src = kAddrLocalCp;
+    p.type = PacketType::kReconfig;
+    p.payload = msg.Serialize();
+    node_->CpSend(MakePacket(std::move(p)));
+  });
+}
+
+void Autopilot::HandleConnectivity(const Delivery& d) {
+  auto msg = ConnectivityMsg::Parse(d.packet->payload);
+  if (!msg.has_value() || d.arrival_port < kFirstExternalPort ||
+      d.arrival_port >= kPortsPerSwitch) {
+    return;
+  }
+  if (msg->kind == ConnectivityMsg::Kind::kProbe) {
+    // Reply one hop out the arrival port, echoing the probe.
+    ConnectivityMsg reply;
+    reply.kind = ConnectivityMsg::Kind::kReply;
+    reply.seq = msg->seq;
+    reply.sender_uid = node_->uid();
+    reply.sender_port = static_cast<std::uint8_t>(d.arrival_port);
+    reply.echo_uid = msg->sender_uid;
+    reply.echo_port = msg->sender_port;
+    reply.echo_seq = msg->seq;
+    PortNum port = d.arrival_port;
+    RunOnCpu(config_.cost_packet_send, [this, port, reply] {
+      Packet p;
+      p.dest = OneHopAddress(port);
+      p.src = kAddrLocalCp;
+      p.type = PacketType::kConnectivity;
+      p.payload = reply.Serialize();
+      node_->CpSend(MakePacket(std::move(p)));
+    });
+  } else {
+    OnProbeReply(d.arrival_port, *msg);
+  }
+}
+
+void Autopilot::HandleHostAddress(const Delivery& d) {
+  auto msg = HostAddressMsg::Parse(d.packet->payload);
+  if (!msg.has_value() || msg->kind != HostAddressMsg::Kind::kRequest) {
+    return;
+  }
+  if (switch_num_ == 0 || d.arrival_port < kFirstExternalPort) {
+    return;  // no configuration yet: the host will retry
+  }
+  HostAddressMsg reply;
+  reply.kind = HostAddressMsg::Kind::kReply;
+  reply.host_uid = msg->host_uid;
+  reply.switch_uid = node_->uid();
+  reply.short_address =
+      ShortAddress::FromSwitchPort(switch_num_, d.arrival_port).value();
+  reply.epoch = engine_.epoch();
+  PortNum port = d.arrival_port;
+  ++stats_.host_addr_replies;
+  RunOnCpu(config_.cost_packet_send, [this, port, reply] {
+    Packet p;
+    p.dest = ShortAddress(reply.short_address);
+    p.src = ShortAddress::FromSwitchPort(switch_num_, kCpPort);
+    p.type = PacketType::kHostAddress;
+    p.payload = reply.Serialize();
+    node_->CpSend(MakePacket(std::move(p)));
+    (void)port;
+  });
+}
+
+void Autopilot::SendSrp(const SrpMsg& msg, PortNum out) {
+  RunOnCpu(config_.cost_packet_send, [this, msg, out] {
+    Packet p;
+    p.dest = OneHopAddress(out);
+    p.src = kAddrLocalCp;
+    p.type = PacketType::kSrp;
+    p.payload = msg.Serialize();
+    node_->CpSend(MakePacket(std::move(p)));
+  });
+}
+
+void Autopilot::HandleSrp(const Delivery& d) {
+  auto msg = SrpMsg::Parse(d.packet->payload);
+  if (!msg.has_value() || d.arrival_port < kFirstExternalPort) {
+    return;
+  }
+  msg->reverse_route.push_back(static_cast<std::uint8_t>(d.arrival_port));
+  if (msg->position < msg->route.size()) {
+    // Intermediate hop: forward along the source route.
+    PortNum out = msg->route[msg->position];
+    if (out < kFirstExternalPort || out >= kPortsPerSwitch) {
+      return;
+    }
+    ++msg->position;
+    ++stats_.srp_forwarded;
+    SendSrp(*msg, out);
+    return;
+  }
+  if (msg->op == SrpMsg::Op::kReply) {
+    return;  // a reply that ran out of route here: nothing to do
+  }
+  // Final hop: serve the request and send the reply back along the
+  // recorded reverse path.
+  ++stats_.srp_served;
+  SrpMsg reply;
+  reply.request_id = msg->request_id;
+  ByteWriter body;
+  switch (msg->op) {
+    case SrpMsg::Op::kEcho:
+      body.Bytes(msg->body.data(), msg->body.size());
+      break;
+    case SrpMsg::Op::kGetState: {
+      body.U64(engine_.epoch());
+      body.U16(switch_num_);
+      body.WriteUid(node_->uid());
+      body.U8(engine_.in_progress() ? 1 : 0);
+      for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+        body.U8(static_cast<std::uint8_t>(monitors_[p].state));
+      }
+      break;
+    }
+    case SrpMsg::Op::kGetTopology: {
+      std::vector<SwitchRecord> records;
+      if (topology_.has_value()) {
+        records = TopologyToRecords(*topology_);
+      }
+      SerializeSwitchRecords(body, records);
+      break;
+    }
+    case SrpMsg::Op::kGetLog: {
+      std::string text;
+      const auto& entries = node_->log().entries();
+      std::size_t start = entries.size() > 16 ? entries.size() - 16 : 0;
+      for (std::size_t i = start; i < entries.size(); ++i) {
+        text += entries[i].message;
+        text += '\n';
+        if (text.size() > 900) {
+          break;
+        }
+      }
+      body.Bytes(reinterpret_cast<const std::uint8_t*>(text.data()),
+                 text.size());
+      break;
+    }
+    case SrpMsg::Op::kReply:
+      return;
+  }
+  reply.op = SrpMsg::Op::kReply;
+  reply.body = body.Take();
+  reply.route.assign(msg->reverse_route.rbegin(), msg->reverse_route.rend());
+  reply.position = 1;  // the first reverse hop is taken by this send
+  SendSrp(reply, reply.route[0]);
+}
+
+// --- status sampler (section 6.5.3) ---
+
+void Autopilot::SampleStatus() {
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    if (!node_->link_unit(p).attached()) {
+      continue;
+    }
+    PortStatus snap = node_->ReadAndClearStatus(p);
+    snap.bad_code += monitors_[p].pending_crc_errors;
+    monitors_[p].pending_crc_errors = 0;
+    SamplePort(p, snap);
+  }
+}
+
+void Autopilot::SamplePort(PortNum p, const PortStatus& snap) {
+  PortMonitor& m = monitors_[p];
+  Tick now = node_->now();
+
+  // Long-term blockage removal: intervals that saw only stop, and intervals
+  // with data pending but no forwarding progress.
+  if (m.state != PortState::kDead) {
+    bool blocked = !snap.xmit_ok && snap.start_seen == 0 &&
+                   snap.last_rx_directive == FlowDirective::kStop;
+    m.blocked_intervals = blocked ? m.blocked_intervals + 1 : 0;
+    bool stuck = snap.fifo_occupancy > 0 && snap.bytes_forwarded == 0;
+    m.stuck_intervals = stuck ? m.stuck_intervals + 1 : 0;
+    if (m.blocked_intervals >= config_.blocked_intervals_to_dead) {
+      FailPort(p, "long-term stop blockage");
+      return;
+    }
+    if (m.stuck_intervals >= config_.blocked_intervals_to_dead) {
+      FailPort(p, "no forwarding progress");
+      return;
+    }
+  }
+
+  switch (m.state) {
+    case PortState::kDead: {
+      bool bad = !snap.carrier || snap.bad_code > 0;
+      if (bad) {
+        m.clean_since = now;
+        break;
+      }
+      if (now - m.clean_since >= m.status_skeptic.RequiredHolddown(now)) {
+        TransitionPort(p, PortState::kChecking, "clean holddown served");
+      }
+      break;
+    }
+    case PortState::kChecking: {
+      if (!snap.carrier || snap.bad_code > 0) {
+        FailPort(p, "errors while checking");
+        break;
+      }
+      if (snap.idhy_seen > 0) {
+        break;  // neighbor still distrusts the link
+      }
+      if (snap.is_host) {
+        TransitionPort(p, PortState::kHost, "host directive received");
+      } else if (snap.bad_syntax > 0) {
+        // Constant BadSyntax with no other errors: an alternate host port
+        // sending only sync.
+        TransitionPort(p, PortState::kHost, "alternate host pattern");
+      } else if (snap.xmit_ok) {
+        TransitionPort(p, PortState::kSwitchWho, "switch flow control seen");
+      }
+      break;
+    }
+    case PortState::kHost: {
+      if (!snap.carrier || snap.bad_code > 0) {
+        FailPort(p, "host link errors");
+      }
+      break;
+    }
+    case PortState::kSwitchWho:
+    case PortState::kSwitchLoop:
+    case PortState::kSwitchGood: {
+      if (!snap.carrier || snap.bad_code > 0 || snap.bad_syntax > 0) {
+        FailPort(p, "switch link errors");
+      }
+      break;
+    }
+  }
+}
+
+void Autopilot::TransitionPort(PortNum p, PortState next, const char* reason) {
+  PortMonitor& m = monitors_[p];
+  PortState prev = m.state;
+  if (prev == next) {
+    return;
+  }
+  // Capture the neighbor identity before the monitor state is cleared: the
+  // reconfiguration engine needs it to describe the link delta.
+  Uid neighbor_uid = m.neighbor_uid;
+  PortNum neighbor_port = m.neighbor_port;
+
+  m.state = next;
+  m.state_since = node_->now();
+  node_->log().Logf(node_->now(), "port %d: %s -> %s (%s)", p,
+                    PortStateName(prev), PortStateName(next), reason);
+  node_->SetPortForceIdhy(p, next == PortState::kDead);
+  if (next == PortState::kDead || next == PortState::kChecking) {
+    m.probe_outstanding = false;
+    m.probe_misses = 0;
+    m.good_streak_start = -1;
+    m.neighbor_uid = Uid();
+    m.neighbor_port = -1;
+  }
+  bool was_good = prev == PortState::kSwitchGood;
+  bool is_good = next == PortState::kSwitchGood;
+  if (was_good != is_good) {
+    engine_.OnLinkStateChange(p, is_good, neighbor_uid, neighbor_port,
+                              reason);
+  }
+  bool was_host = prev == PortState::kHost;
+  bool is_host = next == PortState::kHost;
+  if (was_host != is_host && !engine_.in_progress()) {
+    PatchLocalTable(reason);
+  }
+}
+
+void Autopilot::FailPort(PortNum p, const char* reason) {
+  PortMonitor& m = monitors_[p];
+  if (m.state == PortState::kDead) {
+    return;
+  }
+  ++stats_.port_deaths;
+  m.status_skeptic.Penalize(node_->now());
+  m.clean_since = node_->now();
+  m.blocked_intervals = 0;
+  m.stuck_intervals = 0;
+  TransitionPort(p, PortState::kDead, reason);
+}
+
+PortVector Autopilot::HostPorts() const {
+  PortVector v;
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    if (monitors_[p].state == PortState::kHost) {
+      v.Set(p);
+    }
+  }
+  return v;
+}
+
+std::vector<PortNum> Autopilot::GoodPorts() const {
+  std::vector<PortNum> v;
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    if (monitors_[p].state == PortState::kSwitchGood) {
+      v.push_back(p);
+    }
+  }
+  return v;
+}
+
+// --- connectivity monitor (section 6.5.4) ---
+
+void Autopilot::ProbePorts() {
+  Tick now = node_->now();
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    PortMonitor& m = monitors_[p];
+    if (m.state != PortState::kSwitchWho && m.state != PortState::kSwitchLoop &&
+        m.state != PortState::kSwitchGood) {
+      continue;
+    }
+    // Time out an outstanding probe.
+    if (m.probe_outstanding && now - m.probe_sent_at >= config_.probe_timeout) {
+      m.probe_outstanding = false;
+      ++m.probe_misses;
+      ++stats_.probe_timeouts;
+      m.good_streak_start = -1;
+      if (m.probe_misses >= config_.probe_misses_to_fail) {
+        m.probe_misses = 0;
+        m.conn_skeptic.Penalize(now);
+        if (m.state == PortState::kSwitchGood) {
+          TransitionPort(p, PortState::kSwitchWho, "probe timeouts");
+        }
+      }
+    }
+    Tick period = m.state == PortState::kSwitchGood
+                      ? config_.probe_period_good
+                      : config_.probe_period_unknown;
+    if (!m.probe_outstanding &&
+        (m.last_probe_at < 0 || now - m.last_probe_at >= period)) {
+      SendProbe(p);
+    }
+  }
+}
+
+void Autopilot::SendProbe(PortNum p) {
+  PortMonitor& m = monitors_[p];
+  ConnectivityMsg probe;
+  probe.kind = ConnectivityMsg::Kind::kProbe;
+  probe.seq = ++m.probe_seq;
+  probe.sender_uid = node_->uid();
+  probe.sender_port = static_cast<std::uint8_t>(p);
+  m.probe_outstanding = true;
+  m.probe_sent_at = node_->now();
+  m.last_probe_at = node_->now();
+  ++stats_.probes_sent;
+  RunOnCpu(config_.cost_packet_send, [this, p, probe] {
+    Packet pk;
+    pk.dest = OneHopAddress(p);
+    pk.src = kAddrLocalCp;
+    pk.type = PacketType::kConnectivity;
+    pk.payload = probe.Serialize();
+    // The timeout clock runs from the actual transmission, so a busy
+    // control processor does not fabricate probe misses.
+    monitors_[p].probe_sent_at = node_->now();
+    node_->CpSend(MakePacket(std::move(pk)));
+  });
+}
+
+void Autopilot::OnProbeReply(PortNum p, const ConnectivityMsg& msg) {
+  PortMonitor& m = monitors_[p];
+  if (!m.probe_outstanding || msg.echo_seq != m.probe_seq ||
+      msg.echo_uid != node_->uid() || msg.echo_port != p) {
+    return;  // not the reply we are waiting for
+  }
+  ++stats_.probe_replies_handled;
+  m.probe_outstanding = false;
+  m.probe_misses = 0;
+  Tick now = node_->now();
+
+  if (msg.sender_uid == node_->uid()) {
+    // Our own probe came back: a looped cable or a reflecting link.
+    if (m.state != PortState::kSwitchLoop) {
+      TransitionPort(p, PortState::kSwitchLoop, "own uid echoed");
+    }
+    return;
+  }
+
+  Uid uid = msg.sender_uid;
+  PortNum rport = msg.sender_port;
+  switch (m.state) {
+    case PortState::kSwitchGood:
+      if (uid != m.neighbor_uid || rport != m.neighbor_port) {
+        // The switch at the other end changed identity.
+        m.neighbor_uid = uid;
+        m.neighbor_port = rport;
+        engine_.Trigger("neighbor identity changed");
+      }
+      break;
+    case PortState::kSwitchWho:
+    case PortState::kSwitchLoop: {
+      if (m.state == PortState::kSwitchLoop) {
+        TransitionPort(p, PortState::kSwitchWho, "loop cleared");
+      }
+      if (m.good_streak_start < 0 || uid != m.neighbor_uid ||
+          rport != m.neighbor_port) {
+        m.good_streak_start = now;
+      }
+      m.neighbor_uid = uid;
+      m.neighbor_port = rport;
+      if (now - m.good_streak_start >=
+          m.conn_skeptic.RequiredHolddown(now)) {
+        TransitionPort(p, PortState::kSwitchGood, "connectivity verified");
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// --- forwarding table management ---
+
+void Autopilot::LoadOneHopTable() {
+  RunOnCpu(config_.cost_table_load, [this] {
+    node_->LoadForwardingTable(ForwardingTable::OneHopOnly());
+  });
+}
+
+void Autopilot::ApplyConfig(const NetTopology& topo, int self_index,
+                            std::uint64_t epoch) {
+  topology_ = topo;
+  self_index_ = self_index;
+  switch_num_ = topo.switches[self_index].assigned_num;
+  RunOnCpu(config_.cost_table_compute, [this, epoch] {
+    if (!topology_.has_value()) {
+      return;
+    }
+    // Route from the freshest local view of host ports.
+    topology_->switches[self_index_].host_ports = HostPorts();
+    SpanningTree tree = ComputeSpanningTree(*topology_);
+    ForwardingTable table =
+        BuildForwardingTable(*topology_, tree, self_index_);
+    RunOnCpu(config_.cost_table_load, [this, table = std::move(table), epoch] {
+      node_->LoadForwardingTable(table);
+      ++stats_.tables_loaded;
+      stats_.last_table_load = node_->now();
+      node_->log().Logf(node_->now(),
+                        "config applied: epoch %llu, switch number %u",
+                        static_cast<unsigned long long>(epoch), switch_num_);
+    });
+  });
+}
+
+void Autopilot::PatchLocalTable(const char* reason) {
+  if (!topology_.has_value() || engine_.in_progress()) {
+    return;
+  }
+  node_->log().Logf(node_->now(), "local table patch (%s)", reason);
+  // Host-port changes are purely local: rebuild this switch's table with
+  // the updated host set; no network-wide reconfiguration (Figure 8).
+  RunOnCpu(config_.cost_table_compute / 4, [this] {
+    if (!topology_.has_value() || engine_.in_progress()) {
+      return;
+    }
+    topology_->switches[self_index_].host_ports = HostPorts();
+    SpanningTree tree = ComputeSpanningTree(*topology_);
+    ForwardingTable table =
+        BuildForwardingTable(*topology_, tree, self_index_);
+    RunOnCpu(config_.cost_table_load, [this, table = std::move(table)] {
+      if (engine_.in_progress()) {
+        return;  // a reconfiguration superseded the patch
+      }
+      node_->LoadForwardingTable(table);
+      ++stats_.tables_loaded;
+      stats_.last_table_load = node_->now();
+    });
+  });
+}
+
+}  // namespace autonet

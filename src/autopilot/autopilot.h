@@ -1,0 +1,158 @@
+// Autopilot, the switch control program (section 5.4): monitors the
+// physical condition of the switch's ports, triggers and executes the
+// distributed reconfiguration algorithm, answers host short-address
+// requests, and serves the SRP debugging protocol.  One instance runs per
+// switch, driving the switch solely through the control-processor
+// interface, with all work serialized through a single-CPU cost model (the
+// 12.5 MHz 68000).
+#ifndef SRC_AUTOPILOT_AUTOPILOT_H_
+#define SRC_AUTOPILOT_AUTOPILOT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/autopilot/config.h"
+#include "src/autopilot/messages.h"
+#include "src/autopilot/port_state.h"
+#include "src/autopilot/reconfig.h"
+#include "src/autopilot/skeptic.h"
+#include "src/fabric/switch.h"
+#include "src/routing/topology.h"
+#include "src/sim/timer.h"
+
+namespace autonet {
+
+class Autopilot {
+ public:
+  struct Stats {
+    std::uint64_t probes_sent = 0;
+    std::uint64_t probe_replies_handled = 0;
+    std::uint64_t probe_timeouts = 0;
+    std::uint64_t crc_errors = 0;
+    std::uint64_t host_addr_replies = 0;
+    std::uint64_t srp_forwarded = 0;
+    std::uint64_t srp_served = 0;
+    std::uint64_t tables_loaded = 0;
+    Tick last_table_load = -1;
+    std::uint64_t port_deaths = 0;
+  };
+
+  Autopilot(Switch* node, AutopilotConfig config);
+
+  // Powers up the control program: loads the one-hop table, begins
+  // monitoring, and schedules the initial reconfiguration.
+  void Boot();
+
+  // Powers the control processor off: monitoring stops and all queued CPU
+  // work is abandoned.  The harness uses this to model a switch crash; a
+  // restart constructs a fresh Autopilot (the ROM boot path).
+  void Shutdown();
+
+  // --- introspection (used by tests, benches, and the Network harness) ---
+  PortState port_state(PortNum p) const { return monitors_[p].state; }
+  Uid neighbor_uid(PortNum p) const { return monitors_[p].neighbor_uid; }
+  std::uint64_t epoch() const { return engine_.epoch(); }
+  bool reconfig_in_progress() const { return engine_.in_progress(); }
+  SwitchNum switch_num() const { return switch_num_; }
+  const std::optional<NetTopology>& topology() const { return topology_; }
+  ReconfigEngine& engine() { return engine_; }
+  const Stats& stats() const { return stats_; }
+  Switch* node() { return node_; }
+  Uid uid() const { return node_->uid(); }
+  EventLog& log() { return node_->log(); }
+  const AutopilotConfig& config() const { return config_; }
+
+  // Idle means no reconfiguration in progress and no control-processor work
+  // queued — the harness uses this to detect convergence.
+  bool Quiescent() const;
+
+  // Timestamp of the most recent control-plane or monitoring activity:
+  // epoch joins, table loads, port state transitions, probe streak starts,
+  // and queued CPU work.  The harness treats the network as converged when
+  // this stops advancing.
+  Tick LastActivity() const;
+
+ private:
+  struct PortMonitor {
+    PortState state = PortState::kDead;
+    Tick state_since = 0;
+    Tick clean_since = 0;  // last time bad status was seen (s.dead)
+    Skeptic status_skeptic;
+    Skeptic conn_skeptic;
+    int blocked_intervals = 0;  // stop-directive-only sampling intervals
+    int stuck_intervals = 0;    // data pending but no progress
+    std::uint32_t pending_crc_errors = 0;
+
+    // Connectivity monitor state.
+    Uid neighbor_uid;
+    PortNum neighbor_port = -1;
+    std::uint64_t probe_seq = 0;
+    bool probe_outstanding = false;
+    Tick probe_sent_at = 0;
+    Tick last_probe_at = -1;
+    int probe_misses = 0;
+    Tick good_streak_start = -1;
+
+    PortMonitor(const AutopilotConfig& cfg)
+        : status_skeptic(cfg.status_holddown_base, cfg.status_holddown_max,
+                         cfg.skeptic_forgiveness),
+          conn_skeptic(cfg.conn_holddown_base, cfg.conn_holddown_max,
+                       cfg.skeptic_forgiveness) {}
+  };
+
+  // Single-CPU cost model: work items occupy the control processor for
+  // `cost` and run when the CPU gets to them.
+  void RunOnCpu(Tick cost, std::function<void()> fn);
+
+  void OnCpPacket(Delivery delivery);
+  void HandleReconfig(const Delivery& d);
+  void HandleConnectivity(const Delivery& d);
+  void HandleHostAddress(const Delivery& d);
+  void HandleSrp(const Delivery& d);
+  void SendSrp(const SrpMsg& msg, PortNum out);
+
+  void SampleStatus();
+  void SamplePort(PortNum p, const PortStatus& snap);
+  void ProbePorts();
+  void SendProbe(PortNum p);
+  void OnProbeReply(PortNum p, const ConnectivityMsg& msg);
+
+  void TransitionPort(PortNum p, PortState next, const char* reason);
+  void FailPort(PortNum p, const char* reason);
+  PortVector HostPorts() const;
+  std::vector<PortNum> GoodPorts() const;
+
+  void SendReconfigMsg(PortNum port, const ReconfigMsg& msg);
+  void LoadOneHopTable();
+  void ApplyConfig(const NetTopology& topo, int self_index,
+                   std::uint64_t epoch);
+  void PatchLocalTable(const char* reason);
+
+  Switch* node_;
+  AutopilotConfig config_;
+  ReconfigEngine engine_;
+  std::vector<PortMonitor> monitors_;
+  PeriodicTask sampler_task_;
+  PeriodicTask probe_task_;
+  Timer boot_trigger_;
+
+  Tick cpu_busy_until_ = 0;
+  std::size_t cpu_queue_depth_ = 0;
+  // Cleared on Shutdown so queued CPU work becomes a no-op even if this
+  // object is later destroyed while events remain scheduled.
+  std::shared_ptr<bool> powered_ = std::make_shared<bool>(true);
+
+  // Configuration state from the last completed reconfiguration.
+  SwitchNum switch_num_ = 0;
+  std::optional<NetTopology> topology_;
+  int self_index_ = -1;
+
+  Stats stats_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_AUTOPILOT_AUTOPILOT_H_

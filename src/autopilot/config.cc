@@ -1,0 +1,42 @@
+#include "src/autopilot/config.h"
+
+namespace autonet {
+
+AutopilotConfig AutopilotConfig::Initial() {
+  AutopilotConfig c;
+  // The first implementation was "coded to be easy to understand and
+  // debug" (section 6.6.5): everything is slow, including the monitoring
+  // timers — which must scale with the processing costs, or the slow
+  // control processor starves its own connectivity probes and misdiagnoses
+  // healthy links.
+  c.status_sample_period = 20 * kMillisecond;
+  c.probe_period_unknown = 250 * kMillisecond;
+  c.probe_period_good = kSecond;
+  c.probe_timeout = 3 * kSecond;
+  c.boot_reconfig_delay = 200 * kMillisecond;
+  c.retransmit_period = 500 * kMillisecond;
+  c.cost_packet_process = 10 * kMillisecond;
+  c.cost_packet_send = 2 * kMillisecond;
+  c.cost_table_compute = 800 * kMillisecond;
+  c.cost_table_load = 100 * kMillisecond;
+  return c;
+}
+
+AutopilotConfig AutopilotConfig::Tuned() {
+  AutopilotConfig c;
+  c.cost_table_compute = 180 * kMillisecond;
+  c.cost_table_load = 30 * kMillisecond;
+  return c;
+}
+
+AutopilotConfig AutopilotConfig::Fast() {
+  AutopilotConfig c;
+  c.retransmit_period = 30 * kMillisecond;
+  c.cost_packet_process = 300 * kMicrosecond;
+  c.cost_packet_send = 60 * kMicrosecond;
+  c.cost_table_compute = 60 * kMillisecond;
+  c.cost_table_load = 10 * kMillisecond;
+  return c;
+}
+
+}  // namespace autonet

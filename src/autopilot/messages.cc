@@ -1,0 +1,326 @@
+#include "src/autopilot/messages.h"
+
+#include <map>
+
+#include "src/common/serialize.h"
+
+namespace autonet {
+
+// --- ConnectivityMsg ---
+
+std::vector<std::uint8_t> ConnectivityMsg::Serialize() const {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.U64(seq);
+  w.WriteUid(sender_uid);
+  w.U8(sender_port);
+  w.WriteUid(echo_uid);
+  w.U8(echo_port);
+  w.U64(echo_seq);
+  return w.Take();
+}
+
+std::optional<ConnectivityMsg> ConnectivityMsg::Parse(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  ConnectivityMsg m;
+  m.kind = static_cast<Kind>(r.U8());
+  m.seq = r.U64();
+  m.sender_uid = r.ReadUid();
+  m.sender_port = r.U8();
+  m.echo_uid = r.ReadUid();
+  m.echo_port = r.U8();
+  m.echo_seq = r.U64();
+  if (!r.ok() || (m.kind != Kind::kProbe && m.kind != Kind::kReply)) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+// --- ReconfigMsg ---
+
+void SerializeSwitchRecords(ByteWriter& w,
+                            const std::vector<SwitchRecord>& records) {
+  w.U16(static_cast<std::uint16_t>(records.size()));
+  for (const SwitchRecord& rec : records) {
+    w.WriteUid(rec.uid);
+    w.U16(rec.proposed_num);
+    w.U16(rec.assigned_num);
+    w.U16(rec.host_ports);
+    w.U8(static_cast<std::uint8_t>(rec.links.size()));
+    for (const SwitchRecord::LinkRec& link : rec.links) {
+      w.U8(link.local_port);
+      w.WriteUid(link.remote_uid);
+      w.U8(link.remote_port);
+    }
+  }
+}
+
+bool ParseSwitchRecords(ByteReader& r, std::vector<SwitchRecord>* records) {
+  std::uint16_t n = r.U16();
+  if (n > 512) {
+    return false;
+  }
+  records->reserve(n);
+  for (int i = 0; i < n; ++i) {
+    SwitchRecord rec;
+    rec.uid = r.ReadUid();
+    rec.proposed_num = r.U16();
+    rec.assigned_num = r.U16();
+    rec.host_ports = r.U16();
+    std::uint8_t nlinks = r.U8();
+    if (nlinks > kPortsPerSwitch) {
+      return false;
+    }
+    for (int j = 0; j < nlinks; ++j) {
+      SwitchRecord::LinkRec link;
+      link.local_port = r.U8();
+      link.remote_uid = r.ReadUid();
+      link.remote_port = r.U8();
+      rec.links.push_back(link);
+    }
+    records->push_back(std::move(rec));
+  }
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ReconfigMsg::Serialize() const {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.U64(epoch);
+  w.WriteUid(sender_uid);
+  switch (kind) {
+    case Kind::kPosition:
+      w.WriteUid(root_uid);
+      w.U16(level);
+      w.U32(pos_seq);
+      break;
+    case Kind::kPosAck:
+      w.U32(ack_seq);
+      w.U8(is_parent ? 1 : 0);
+      break;
+    case Kind::kReport:
+    case Kind::kConfig:
+      w.U32(payload_seq);
+      SerializeSwitchRecords(w, records);
+      break;
+    case Kind::kMinorConfig:
+      w.U32(payload_seq);
+      w.U32(config_version);
+      SerializeSwitchRecords(w, records);
+      break;
+    case Kind::kDelta:
+      w.U32(payload_seq);
+      w.U8(delta_add ? 1 : 0);
+      w.WriteUid(delta_a_uid);
+      w.U8(delta_a_port);
+      w.WriteUid(delta_b_uid);
+      w.U8(delta_b_port);
+      break;
+    case Kind::kReportAck:
+    case Kind::kConfigAck:
+      w.U32(payload_seq);
+      break;
+  }
+  return w.Take();
+}
+
+std::optional<ReconfigMsg> ReconfigMsg::Parse(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  ReconfigMsg m;
+  m.kind = static_cast<Kind>(r.U8());
+  m.epoch = r.U64();
+  m.sender_uid = r.ReadUid();
+  switch (m.kind) {
+    case Kind::kPosition:
+      m.root_uid = r.ReadUid();
+      m.level = r.U16();
+      m.pos_seq = r.U32();
+      break;
+    case Kind::kPosAck:
+      m.ack_seq = r.U32();
+      m.is_parent = r.U8() != 0;
+      break;
+    case Kind::kReport:
+    case Kind::kConfig:
+      m.payload_seq = r.U32();
+      if (!ParseSwitchRecords(r, &m.records)) {
+        return std::nullopt;
+      }
+      break;
+    case Kind::kMinorConfig:
+      m.payload_seq = r.U32();
+      m.config_version = r.U32();
+      if (!ParseSwitchRecords(r, &m.records)) {
+        return std::nullopt;
+      }
+      break;
+    case Kind::kDelta:
+      m.payload_seq = r.U32();
+      m.delta_add = r.U8() != 0;
+      m.delta_a_uid = r.ReadUid();
+      m.delta_a_port = r.U8();
+      m.delta_b_uid = r.ReadUid();
+      m.delta_b_port = r.U8();
+      break;
+    case Kind::kReportAck:
+    case Kind::kConfigAck:
+      m.payload_seq = r.U32();
+      break;
+    default:
+      return std::nullopt;
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+const char* ReconfigMsg::KindName() const {
+  switch (kind) {
+    case Kind::kPosition:
+      return "position";
+    case Kind::kPosAck:
+      return "pos-ack";
+    case Kind::kReport:
+      return "report";
+    case Kind::kReportAck:
+      return "report-ack";
+    case Kind::kConfig:
+      return "config";
+    case Kind::kConfigAck:
+      return "config-ack";
+    case Kind::kDelta:
+      return "delta";
+    case Kind::kMinorConfig:
+      return "minor-config";
+  }
+  return "?";
+}
+
+NetTopology RecordsToTopology(const std::vector<SwitchRecord>& records) {
+  NetTopology topo;
+  std::map<std::uint64_t, int> index;
+  for (const SwitchRecord& rec : records) {
+    if (index.count(rec.uid.value()) > 0) {
+      continue;  // duplicate reports: first wins
+    }
+    index[rec.uid.value()] = topo.size();
+    SwitchDescriptor sw;
+    sw.uid = rec.uid;
+    sw.proposed_num = rec.proposed_num;
+    sw.assigned_num = rec.assigned_num;
+    sw.host_ports = PortVector(rec.host_ports);
+    topo.switches.push_back(std::move(sw));
+  }
+  for (const SwitchRecord& rec : records) {
+    auto it = index.find(rec.uid.value());
+    SwitchDescriptor& sw = topo.switches[it->second];
+    if (!sw.links.empty()) {
+      continue;  // duplicate record already filled in
+    }
+    for (const SwitchRecord::LinkRec& link : rec.links) {
+      auto remote = index.find(link.remote_uid.value());
+      if (remote == index.end()) {
+        continue;  // link to a switch outside the stable set
+      }
+      sw.links.push_back(TopoLink{link.local_port, remote->second,
+                                  link.remote_port});
+    }
+  }
+  topo.SymmetrizeLinks();
+  return topo;
+}
+
+std::vector<SwitchRecord> TopologyToRecords(const NetTopology& topology) {
+  std::vector<SwitchRecord> records;
+  records.reserve(topology.switches.size());
+  for (const SwitchDescriptor& sw : topology.switches) {
+    SwitchRecord rec;
+    rec.uid = sw.uid;
+    rec.proposed_num = sw.proposed_num;
+    rec.assigned_num = sw.assigned_num;
+    rec.host_ports = sw.host_ports.bits();
+    for (const TopoLink& link : sw.links) {
+      rec.links.push_back(SwitchRecord::LinkRec{
+          static_cast<std::uint8_t>(link.local_port),
+          topology.switches[link.remote_switch].uid,
+          static_cast<std::uint8_t>(link.remote_port)});
+    }
+    records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+// --- HostAddressMsg ---
+
+std::vector<std::uint8_t> HostAddressMsg::Serialize() const {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(kind));
+  w.WriteUid(host_uid);
+  w.WriteUid(switch_uid);
+  w.U16(short_address);
+  w.U64(epoch);
+  return w.Take();
+}
+
+std::optional<HostAddressMsg> HostAddressMsg::Parse(
+    const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  HostAddressMsg m;
+  m.kind = static_cast<Kind>(r.U8());
+  m.host_uid = r.ReadUid();
+  m.switch_uid = r.ReadUid();
+  m.short_address = r.U16();
+  m.epoch = r.U64();
+  if (!r.ok() || (m.kind != Kind::kRequest && m.kind != Kind::kReply)) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+// --- SrpMsg ---
+
+std::vector<std::uint8_t> SrpMsg::Serialize() const {
+  ByteWriter w;
+  w.U8(static_cast<std::uint8_t>(op));
+  w.U64(request_id);
+  w.U8(static_cast<std::uint8_t>(route.size()));
+  w.Bytes(route.data(), route.size());
+  w.U8(position);
+  w.U8(static_cast<std::uint8_t>(reverse_route.size()));
+  w.Bytes(reverse_route.data(), reverse_route.size());
+  w.U16(static_cast<std::uint16_t>(body.size()));
+  w.Bytes(body.data(), body.size());
+  return w.Take();
+}
+
+std::optional<SrpMsg> SrpMsg::Parse(const std::vector<std::uint8_t>& payload) {
+  ByteReader r(payload);
+  SrpMsg m;
+  m.op = static_cast<Op>(r.U8());
+  m.request_id = r.U64();
+  std::uint8_t nroute = r.U8();
+  for (int i = 0; i < nroute; ++i) {
+    m.route.push_back(r.U8());
+  }
+  m.position = r.U8();
+  std::uint8_t nreverse = r.U8();
+  for (int i = 0; i < nreverse; ++i) {
+    m.reverse_route.push_back(r.U8());
+  }
+  std::uint16_t nbody = r.U16();
+  if (nbody > 4096) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < nbody; ++i) {
+    m.body.push_back(r.U8());
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace autonet

@@ -1,0 +1,161 @@
+// Wire formats of Autopilot's control protocols: connectivity probes
+// (section 6.5.4), the reconfiguration protocol (section 6.6), host
+// short-address service (section 6.3), and the source-routed debugging
+// protocol SRP (section 6.7).  All bodies travel as serialized payloads in
+// Autonet packets of the corresponding PacketType and are parsed with the
+// saturating ByteReader, so damaged packets degrade to rejectable messages.
+#ifndef SRC_AUTOPILOT_MESSAGES_H_
+#define SRC_AUTOPILOT_MESSAGES_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/packet.h"
+#include "src/routing/topology.h"
+
+namespace autonet {
+
+// --- connectivity monitor (PacketType::kConnectivity) ---
+
+struct ConnectivityMsg {
+  enum class Kind : std::uint8_t { kProbe = 0, kReply = 1 };
+  Kind kind = Kind::kProbe;
+  std::uint64_t seq = 0;
+  Uid sender_uid;
+  std::uint8_t sender_port = 0;
+  // Reply only: echo of the probe being answered.
+  Uid echo_uid;
+  std::uint8_t echo_port = 0;
+  std::uint64_t echo_seq = 0;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<ConnectivityMsg> Parse(
+      const std::vector<std::uint8_t>& payload);
+};
+
+// --- reconfiguration (PacketType::kReconfig) ---
+
+// One switch's contribution to a topology report or configuration
+// description: its identity, proposed/assigned switch number, host ports,
+// and its usable switch-to-switch links (remote ends named by UID).
+struct SwitchRecord {
+  Uid uid;
+  SwitchNum proposed_num = 1;
+  SwitchNum assigned_num = 0;
+  std::uint16_t host_ports = 0;
+  struct LinkRec {
+    std::uint8_t local_port;
+    Uid remote_uid;
+    std::uint8_t remote_port;
+  };
+  std::vector<LinkRec> links;
+};
+
+struct ReconfigMsg {
+  enum class Kind : std::uint8_t {
+    kPosition = 0,   // tree-position packet
+    kPosAck = 1,     // ack, carrying the "this is now my parent link" bit
+    kReport = 2,     // "I am stable" + stable-subtree topology
+    kReportAck = 3,
+    kConfig = 4,     // step 4: full topology + switch-number assignments
+    kConfigAck = 5,
+    // Local reconfiguration (section 7 future work): a link delta routed
+    // up the standing tree, and the root's incremental redistribution.
+    kDelta = 6,
+    kMinorConfig = 7,
+  };
+  Kind kind = Kind::kPosition;
+  std::uint64_t epoch = 0;
+  Uid sender_uid;
+
+  // kPosition: the sender's current tree position.
+  Uid root_uid;
+  std::uint16_t level = 0;
+  std::uint32_t pos_seq = 0;  // version, for ack matching
+
+  // kPosAck.
+  std::uint32_t ack_seq = 0;
+  bool is_parent = false;
+
+  // kReport / kReportAck / kConfig / kConfigAck / kMinorConfig.
+  std::uint32_t payload_seq = 0;
+  std::vector<SwitchRecord> records;
+
+  // kDelta: one link added to or removed from the configuration.
+  bool delta_add = false;
+  Uid delta_a_uid;
+  std::uint8_t delta_a_port = 0;
+  Uid delta_b_uid;
+  std::uint8_t delta_b_port = 0;
+
+  // kMinorConfig: monotonically increasing within an epoch.
+  std::uint32_t config_version = 0;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<ReconfigMsg> Parse(
+      const std::vector<std::uint8_t>& payload);
+
+  const char* KindName() const;
+};
+
+// Record-list serialization, shared by ReconfigMsg and SRP topology
+// retrieval.
+class ByteWriter;
+class ByteReader;
+void SerializeSwitchRecords(ByteWriter& w,
+                            const std::vector<SwitchRecord>& records);
+bool ParseSwitchRecords(ByteReader& r, std::vector<SwitchRecord>* records);
+
+// Builds a NetTopology from config/report records: links are resolved from
+// UIDs to indices and one-sided links are dropped.
+NetTopology RecordsToTopology(const std::vector<SwitchRecord>& records);
+// The inverse, for assembling reports.
+std::vector<SwitchRecord> TopologyToRecords(const NetTopology& topology);
+
+// --- host short-address service (PacketType::kHostAddress) ---
+
+struct HostAddressMsg {
+  enum class Kind : std::uint8_t { kRequest = 0, kReply = 1 };
+  Kind kind = Kind::kRequest;
+  Uid host_uid;        // requesting host
+  Uid switch_uid;      // reply: the answering switch
+  std::uint16_t short_address = 0;  // reply: the host's assigned address
+  std::uint64_t epoch = 0;          // reply: configuration epoch
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<HostAddressMsg> Parse(
+      const std::vector<std::uint8_t>& payload);
+};
+
+// --- SRP, the source-routed debugging/monitoring protocol (section 6.7) ---
+//
+// The route is a sequence of outbound port numbers; each control processor
+// along the path forwards the packet one hop and appends the arrival port
+// to the reverse route, so the final switch can send the reply back along
+// the recorded reverse path.  Delivery depends only on the constant one-hop
+// part of forwarding tables, so SRP works during reconfiguration.
+
+struct SrpMsg {
+  enum class Op : std::uint8_t {
+    kEcho = 0,
+    kGetState = 1,     // epoch, switch number, port states
+    kGetTopology = 2,  // the switch's current view of the network
+    kGetLog = 3,       // tail of the reconfiguration event log
+    kReply = 100,
+  };
+  Op op = Op::kEcho;
+  std::uint64_t request_id = 0;
+  std::vector<std::uint8_t> route;          // outbound ports, source-chosen
+  std::uint8_t position = 0;                // next hop index
+  std::vector<std::uint8_t> reverse_route;  // arrival ports, accumulated
+  std::vector<std::uint8_t> body;           // op argument / reply data
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<SrpMsg> Parse(const std::vector<std::uint8_t>& payload);
+};
+
+}  // namespace autonet
+
+#endif  // SRC_AUTOPILOT_MESSAGES_H_

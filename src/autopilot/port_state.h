@@ -1,0 +1,38 @@
+// The six dynamic port classifications of section 6.5.1 (Figure 8).
+#ifndef SRC_AUTOPILOT_PORT_STATE_H_
+#define SRC_AUTOPILOT_PORT_STATE_H_
+
+#include <cstdint>
+
+namespace autonet {
+
+enum class PortState : std::uint8_t {
+  kDead,        // does not work well enough to use
+  kChecking,    // monitored to determine if host or switch is attached
+  kHost,        // attached to a host (active or alternate controller port)
+  kSwitchWho,   // believed switch-to-switch; neighbor identity unknown
+  kSwitchLoop,  // attached to this same switch, or reflecting
+  kSwitchGood,  // attached to a responsive neighbor switch
+};
+
+constexpr const char* PortStateName(PortState s) {
+  switch (s) {
+    case PortState::kDead:
+      return "s.dead";
+    case PortState::kChecking:
+      return "s.checking";
+    case PortState::kHost:
+      return "s.host";
+    case PortState::kSwitchWho:
+      return "s.switch.who";
+    case PortState::kSwitchLoop:
+      return "s.switch.loop";
+    case PortState::kSwitchGood:
+      return "s.switch.good";
+  }
+  return "?";
+}
+
+}  // namespace autonet
+
+#endif  // SRC_AUTOPILOT_PORT_STATE_H_

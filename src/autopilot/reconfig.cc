@@ -1,0 +1,651 @@
+#include "src/autopilot/reconfig.h"
+
+#include <algorithm>
+
+#include "src/routing/spanning_tree.h"
+
+namespace autonet {
+
+ReconfigEngine::ReconfigEngine(Simulator* sim, Uid self_uid,
+                               const AutopilotConfig* config, EventLog* log,
+                               Callbacks callbacks)
+    : sim_(sim),
+      self_uid_(self_uid),
+      config_(config),
+      log_(log),
+      callbacks_(std::move(callbacks)),
+      pos_root_(self_uid),
+      retransmit_task_(sim, [this] { Retransmit(); }) {}
+
+void ReconfigEngine::Trigger(const char* reason) {
+  ++stats_.triggers;
+  JoinEpoch(epoch_ + 1, reason);
+}
+
+void ReconfigEngine::JoinEpoch(std::uint64_t epoch, const char* reason) {
+  epoch_ = epoch;
+  in_progress_ = true;
+  config_applied_ = false;
+  ++stats_.epochs_joined;
+  stats_.last_join_time = sim_->now();
+  log_->Logf(sim_->now(), "reconfig: join epoch %llu (%s)",
+             static_cast<unsigned long long>(epoch), reason);
+
+  // Freeze the participant set for this epoch (section 6.6.2).
+  participants_ = callbacks_.good_ports();
+  for (PortState& ps : ports_) {
+    ps = PortState{};
+  }
+  for (PortNum p : participants_) {
+    ports_[p].participant = true;
+    ports_[p].neighbor_uid = callbacks_.neighbor_uid(p);
+    ports_[p].neighbor_port = callbacks_.neighbor_port(p);
+  }
+
+  // Step 1: one-hop-only forwarding (destroys packets in the switch).
+  callbacks_.load_one_hop_table();
+
+  // Assume root; tell the neighbors.
+  pos_root_ = self_uid_;
+  pos_level_ = 0;
+  parent_uid_ = Uid();
+  parent_port_ = -1;
+  ++pos_seq_;
+  outgoing_.clear();
+  last_report_fingerprint_ = 0;
+  applied_topo_.reset();
+  applied_version_ = 0;
+  for (PortNum p : participants_) {
+    SendPositionTo(p);
+  }
+  // An isolated switch is immediately stable (and its own root).
+  CheckStability();
+}
+
+void ReconfigEngine::SendPositionTo(PortNum port) {
+  ReconfigMsg msg;
+  msg.kind = ReconfigMsg::Kind::kPosition;
+  msg.epoch = epoch_;
+  msg.sender_uid = self_uid_;
+  msg.root_uid = pos_root_;
+  msg.level = static_cast<std::uint16_t>(pos_level_);
+  msg.pos_seq = pos_seq_;
+  SendReliable(port, std::move(msg));
+}
+
+void ReconfigEngine::SendAckTo(PortNum port, std::uint32_t their_seq) {
+  ReconfigMsg ack;
+  ack.kind = ReconfigMsg::Kind::kPosAck;
+  ack.epoch = epoch_;
+  ack.sender_uid = self_uid_;
+  ack.ack_seq = their_seq;
+  ack.is_parent = parent_port_ == port;
+  ++stats_.messages_sent;
+  callbacks_.send(port, ack);
+}
+
+void ReconfigEngine::SendReliable(PortNum port, ReconfigMsg msg) {
+  // At most one outstanding message of each kind per port.
+  outgoing_.erase(std::remove_if(outgoing_.begin(), outgoing_.end(),
+                                 [&](const Outgoing& o) {
+                                   return o.port == port &&
+                                          o.msg.kind == msg.kind;
+                                 }),
+                  outgoing_.end());
+  ++stats_.messages_sent;
+  callbacks_.send(port, msg);
+  outgoing_.push_back(Outgoing{port, std::move(msg)});
+  if (!retransmit_task_.running()) {
+    retransmit_task_.Start(config_->retransmit_period);
+  }
+}
+
+void ReconfigEngine::RemoveOutgoing(PortNum port, ReconfigMsg::Kind kind,
+                                    std::uint32_t seq) {
+  outgoing_.erase(
+      std::remove_if(outgoing_.begin(), outgoing_.end(),
+                     [&](const Outgoing& o) {
+                       if (o.port != port || o.msg.kind != kind) {
+                         return false;
+                       }
+                       std::uint32_t sent_seq =
+                           kind == ReconfigMsg::Kind::kPosition
+                               ? o.msg.pos_seq
+                               : o.msg.payload_seq;
+                       return sent_seq == seq;
+                     }),
+      outgoing_.end());
+  if (outgoing_.empty()) {
+    retransmit_task_.Stop();
+  }
+}
+
+void ReconfigEngine::Retransmit() {
+  if (outgoing_.empty()) {
+    retransmit_task_.Stop();
+    return;
+  }
+  for (const Outgoing& o : outgoing_) {
+    ++stats_.retransmissions;
+    ++stats_.messages_sent;
+    callbacks_.send(o.port, o.msg);
+  }
+}
+
+void ReconfigEngine::ReevaluatePosition() {
+  // Best position under the (root, level, parent uid, parent port) order.
+  Uid best_root = self_uid_;
+  int best_level = 0;
+  Uid best_parent;
+  PortNum best_port = -1;
+  for (PortNum p : participants_) {
+    const PortState& ps = ports_[p];
+    if (!ps.have_their_pos) {
+      continue;
+    }
+    Uid cand_root = ps.their_root;
+    int cand_level = ps.their_level + 1;
+    Uid cand_parent = ps.their_uid;
+    bool better = false;
+    if (cand_root != best_root) {
+      better = cand_root < best_root;
+    } else if (cand_level != best_level) {
+      better = cand_level < best_level;
+    } else if (cand_parent != best_parent) {
+      better = cand_parent < best_parent;
+    } else {
+      better = p < best_port;
+    }
+    if (better) {
+      best_root = cand_root;
+      best_level = cand_level;
+      best_parent = cand_parent;
+      best_port = p;
+    }
+  }
+  if (best_root == pos_root_ && best_level == pos_level_ &&
+      best_parent == parent_uid_ && best_port == parent_port_) {
+    return;  // unchanged
+  }
+  pos_root_ = best_root;
+  pos_level_ = best_level;
+  parent_uid_ = best_parent;
+  parent_port_ = best_port;
+  ++pos_seq_;
+  log_->Logf(sim_->now(), "reconfig: position root=%llx level=%d parent-port=%d",
+             static_cast<unsigned long long>(pos_root_.value()), pos_level_,
+             parent_port_);
+  // Everyone must re-ack the new position, and old child claims are void.
+  for (PortNum p : participants_) {
+    PortState& ps = ports_[p];
+    ps.acked_my_pos = false;
+    ps.claims_me = false;
+    ps.have_report = false;
+    ps.report.clear();
+    SendPositionTo(p);
+    // Re-ack their position with the updated is_parent bit so an ex-parent
+    // learns it lost this child.
+    if (ps.have_their_pos) {
+      SendAckTo(p, ps.their_seq);
+    }
+  }
+  last_report_fingerprint_ = 0;
+}
+
+void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
+  if (msg.epoch < epoch_) {
+    return;  // stale epoch: ignore (section 6.6.2)
+  }
+  if (msg.epoch > epoch_) {
+    JoinEpoch(msg.epoch, "higher epoch seen");
+  }
+  PortState& ps = ports_[inport];
+  if (!ps.participant) {
+    // The link was not usable when this epoch started here; the port state
+    // change will trigger a fresh epoch shortly.
+    return;
+  }
+  switch (msg.kind) {
+    case ReconfigMsg::Kind::kPosition: {
+      bool new_seq = !ps.have_their_pos || ps.their_seq != msg.pos_seq;
+      ps.have_their_pos = true;
+      ps.their_root = msg.root_uid;
+      ps.their_level = msg.level;
+      ps.their_seq = msg.pos_seq;
+      ps.their_uid = msg.sender_uid;
+      if (new_seq) {
+        if (config_applied_) {
+          // The tree moved after we configured: something raced.  Start
+          // over rather than trusting a stale configuration.
+          Trigger("position change after configuration");
+          return;
+        }
+        // Their subtree is in flux; any report they sent is void.
+        ps.have_report = false;
+        ps.report.clear();
+      }
+      ReevaluatePosition();
+      SendAckTo(inport, msg.pos_seq);
+      CheckStability();
+      break;
+    }
+    case ReconfigMsg::Kind::kPosAck: {
+      if (msg.ack_seq != pos_seq_) {
+        break;  // ack of an obsolete position
+      }
+      ps.acked_my_pos = true;
+      RemoveOutgoing(inport, ReconfigMsg::Kind::kPosition, msg.ack_seq);
+      bool was_child = ps.claims_me;
+      ps.claims_me = msg.is_parent;
+      if (was_child && !ps.claims_me) {
+        ps.have_report = false;
+        ps.report.clear();
+      }
+      CheckStability();
+      break;
+    }
+    case ReconfigMsg::Kind::kReport: {
+      // Always ack (the ack may have been lost).
+      ReconfigMsg ack;
+      ack.kind = ReconfigMsg::Kind::kReportAck;
+      ack.epoch = epoch_;
+      ack.sender_uid = self_uid_;
+      ack.payload_seq = msg.payload_seq;
+      ++stats_.messages_sent;
+      callbacks_.send(inport, ack);
+
+      std::uint64_t fp = Fingerprint(msg.records);
+      bool changed = !ps.have_report || Fingerprint(ps.report) != fp;
+      ps.claims_me = true;
+      ps.have_report = true;
+      ps.report = msg.records;
+      if (config_applied_ && changed) {
+        Trigger("report change after configuration");
+        return;
+      }
+      if (changed) {
+        // Our subtree description changed: if we already reported upward,
+        // the fingerprint check in CheckStability will re-report.
+        CheckStability();
+      }
+      break;
+    }
+    case ReconfigMsg::Kind::kReportAck:
+      RemoveOutgoing(inport, ReconfigMsg::Kind::kReport, msg.payload_seq);
+      break;
+    case ReconfigMsg::Kind::kConfig: {
+      ReconfigMsg ack;
+      ack.kind = ReconfigMsg::Kind::kConfigAck;
+      ack.epoch = epoch_;
+      ack.sender_uid = self_uid_;
+      ack.payload_seq = msg.payload_seq;
+      ++stats_.messages_sent;
+      callbacks_.send(inport, ack);
+      if (!config_applied_) {
+        Distribute(msg.records, inport);
+      }
+      break;
+    }
+    case ReconfigMsg::Kind::kConfigAck:
+      RemoveOutgoing(inport, ReconfigMsg::Kind::kConfig, msg.payload_seq);
+      RemoveOutgoing(inport, ReconfigMsg::Kind::kDelta, msg.payload_seq);
+      RemoveOutgoing(inport, ReconfigMsg::Kind::kMinorConfig, msg.payload_seq);
+      break;
+    case ReconfigMsg::Kind::kDelta: {
+      // Ack, then relay toward the root (or apply if we are the root).
+      ReconfigMsg ack;
+      ack.kind = ReconfigMsg::Kind::kConfigAck;
+      ack.epoch = epoch_;
+      ack.sender_uid = self_uid_;
+      ack.payload_seq = msg.payload_seq;
+      ++stats_.messages_sent;
+      callbacks_.send(inport, ack);
+      if (!config_applied_ || !applied_topo_.has_value()) {
+        break;  // a full reconfiguration is already underway
+      }
+      LinkDelta delta{msg.delta_add, msg.delta_a_uid, msg.delta_a_port,
+                      msg.delta_b_uid, msg.delta_b_port};
+      if (pos_root_ == self_uid_) {
+        ApplyDeltaAsRoot(delta);
+      } else {
+        ++stats_.deltas_relayed;
+        ReconfigMsg relay = msg;
+        relay.sender_uid = self_uid_;
+        relay.payload_seq = ++payload_seq_;
+        SendReliable(parent_port_, std::move(relay));
+      }
+      break;
+    }
+    case ReconfigMsg::Kind::kMinorConfig:
+      ApplyMinorConfig(msg, inport);
+      break;
+  }
+}
+
+void ReconfigEngine::OnLinkStateChange(PortNum port, bool up,
+                                       Uid neighbor_uid,
+                                       PortNum neighbor_port,
+                                       const char* reason) {
+  if (!config_->enable_local_reconfig || !config_applied_ ||
+      !applied_topo_.has_value()) {
+    Trigger(reason);
+    return;
+  }
+  LinkDelta delta{up, self_uid_, port, neighbor_uid, neighbor_port};
+  if (!DeltaIsLocalizable(delta)) {
+    ++stats_.local_fallbacks;
+    Trigger(reason);
+    return;
+  }
+  ++stats_.deltas_originated;
+  log_->Logf(sim_->now(), "reconfig: local delta (%s link at port %d: %s)",
+             up ? "add" : "remove", port, reason);
+  SendDeltaTowardRoot(delta);
+}
+
+bool ReconfigEngine::DeltaIsLocalizable(const LinkDelta& delta) const {
+  const NetTopology& topo = *applied_topo_;
+  int a = topo.IndexOf(delta.a_uid);
+  int b = topo.IndexOf(delta.b_uid);
+  if (a < 0 || b < 0 || a == b) {
+    return false;  // a new or looped switch always needs a full epoch
+  }
+  SpanningTree tree = ComputeSpanningTree(topo);
+  bool exists = false;
+  for (const TopoLink& link : topo.switches[a].links) {
+    if (link.local_port == delta.a_port) {
+      exists = link.remote_switch == b && link.remote_port == delta.b_port;
+      if (!exists) {
+        return false;  // the port is recorded cabled elsewhere: inconsistent
+      }
+    }
+  }
+  if (delta.add) {
+    if (exists) {
+      return true;  // already present: idempotent
+    }
+    // A new link is tree-neutral iff it cannot shorten any BFS level:
+    // |level(a) - level(b)| <= 1.  (Equal-or-adjacent levels cannot create
+    // a better parent with a smaller UID either only if the candidate
+    // parent comparison stays unchanged; to stay conservative, also require
+    // that the downhill end's parent choice is not displaced.)
+    int la = tree.level[a];
+    int lb = tree.level[b];
+    if (la > lb) {
+      std::swap(la, lb);
+      // note: b is now conceptually the lower (deeper or equal) end
+    }
+    if (lb - la > 1) {
+      return false;
+    }
+    // Parent displacement check: the deeper end must keep its parent.
+    int deep = tree.level[a] >= tree.level[b] ? a : b;
+    int high = deep == a ? b : a;
+    if (tree.level[deep] == tree.level[high] + 1 &&
+        topo.switches[high].uid < topo.switches[tree.parent[deep]].uid) {
+      return false;  // the new link would become deep's parent link
+    }
+    return true;
+  }
+  // Removal: only a *non-tree* link is localizable.
+  if (!exists) {
+    return true;  // already gone: idempotent
+  }
+  for (const TopoLink& link : topo.switches[a].links) {
+    if (link.local_port == delta.a_port) {
+      return !tree.IsTreeLink(topo, a, link);
+    }
+  }
+  return false;
+}
+
+void ReconfigEngine::SendDeltaTowardRoot(const LinkDelta& delta) {
+  ReconfigMsg msg;
+  msg.kind = ReconfigMsg::Kind::kDelta;
+  msg.epoch = epoch_;
+  msg.sender_uid = self_uid_;
+  msg.payload_seq = ++payload_seq_;
+  msg.delta_add = delta.add;
+  msg.delta_a_uid = delta.a_uid;
+  msg.delta_a_port = static_cast<std::uint8_t>(delta.a_port);
+  msg.delta_b_uid = delta.b_uid;
+  msg.delta_b_port = static_cast<std::uint8_t>(delta.b_port);
+  if (pos_root_ == self_uid_) {
+    ApplyDeltaAsRoot(delta);
+    return;
+  }
+  SendReliable(parent_port_, std::move(msg));
+}
+
+void ReconfigEngine::ApplyDeltaAsRoot(const LinkDelta& delta) {
+  NetTopology topo = *applied_topo_;
+  int a = topo.IndexOf(delta.a_uid);
+  int b = topo.IndexOf(delta.b_uid);
+  if (a < 0 || b < 0) {
+    Trigger("delta names unknown switch");
+    return;
+  }
+  bool changed = false;
+  if (delta.add) {
+    bool present = false;
+    for (const TopoLink& link : topo.switches[a].links) {
+      present |= link.local_port == delta.a_port;
+    }
+    if (!present) {
+      topo.switches[a].links.push_back(
+          {delta.a_port, b, delta.b_port});
+      topo.switches[b].links.push_back(
+          {delta.b_port, a, delta.a_port});
+      changed = true;
+    }
+  } else {
+    auto& la = topo.switches[a].links;
+    auto before = la.size();
+    la.erase(std::remove_if(la.begin(), la.end(),
+                            [&](const TopoLink& l) {
+                              return l.local_port == delta.a_port;
+                            }),
+             la.end());
+    auto& lb = topo.switches[b].links;
+    lb.erase(std::remove_if(lb.begin(), lb.end(),
+                            [&](const TopoLink& l) {
+                              return l.local_port == delta.b_port;
+                            }),
+             lb.end());
+    changed = la.size() != before;
+  }
+  if (!changed) {
+    return;  // duplicate delta from the other end: already applied
+  }
+  if (!topo.Validate().empty()) {
+    Trigger("delta produced invalid topology");
+    return;
+  }
+  applied_topo_ = topo;
+  ++applied_version_;
+  log_->Logf(sim_->now(), "reconfig: minor config v%u (%s link)",
+             applied_version_, delta.add ? "added" : "removed");
+
+  // Redistribute down the standing tree and apply locally.
+  ReconfigMsg msg;
+  msg.kind = ReconfigMsg::Kind::kMinorConfig;
+  msg.epoch = epoch_;
+  msg.sender_uid = self_uid_;
+  msg.config_version = applied_version_;
+  msg.records = TopologyToRecords(topo);
+  for (PortNum p : participants_) {
+    if (ports_[p].claims_me) {
+      ReconfigMsg copy = msg;
+      copy.payload_seq = ++payload_seq_;
+      SendReliable(p, std::move(copy));
+    }
+  }
+  ++stats_.local_updates_applied;
+  int self_index = topo.IndexOf(self_uid_);
+  callbacks_.apply_config(topo, self_index, epoch_);
+}
+
+void ReconfigEngine::ApplyMinorConfig(const ReconfigMsg& msg, PortNum from) {
+  ReconfigMsg ack;
+  ack.kind = ReconfigMsg::Kind::kConfigAck;
+  ack.epoch = epoch_;
+  ack.sender_uid = self_uid_;
+  ack.payload_seq = msg.payload_seq;
+  ++stats_.messages_sent;
+  callbacks_.send(from, ack);
+
+  if (!config_applied_ || msg.config_version <= applied_version_) {
+    return;  // stale or superseded
+  }
+  NetTopology topo = RecordsToTopology(msg.records);
+  int self_index = topo.IndexOf(self_uid_);
+  if (self_index < 0) {
+    Trigger("minor config omits this switch");
+    return;
+  }
+  applied_topo_ = topo;
+  applied_version_ = msg.config_version;
+  ++stats_.local_updates_applied;
+  log_->Logf(sim_->now(), "reconfig: minor config v%u applied",
+             applied_version_);
+  // Forward down the standing tree.
+  for (PortNum p : participants_) {
+    if (p != from && ports_[p].claims_me) {
+      ReconfigMsg copy = msg;
+      copy.sender_uid = self_uid_;
+      copy.payload_seq = ++payload_seq_;
+      SendReliable(p, std::move(copy));
+    }
+  }
+  callbacks_.apply_config(topo, self_index, epoch_);
+}
+
+void ReconfigEngine::CheckStability() {
+  if (config_applied_ || !in_progress_) {
+    return;
+  }
+  for (PortNum p : participants_) {
+    const PortState& ps = ports_[p];
+    if (!ps.acked_my_pos) {
+      return;
+    }
+    if (ps.claims_me && !ps.have_report) {
+      return;
+    }
+  }
+  // Stable.
+  if (pos_root_ == self_uid_) {
+    Terminate();
+    return;
+  }
+  // Report the stable subtree to the parent, unless the identical report
+  // has already been sent for this position.
+  std::vector<SwitchRecord> records = BuildSubtreeRecords();
+  std::uint64_t fp = Fingerprint(records) ^ (std::uint64_t{pos_seq_} << 32);
+  if (fp == last_report_fingerprint_) {
+    return;
+  }
+  last_report_fingerprint_ = fp;
+  ReconfigMsg msg;
+  msg.kind = ReconfigMsg::Kind::kReport;
+  msg.epoch = epoch_;
+  msg.sender_uid = self_uid_;
+  msg.payload_seq = ++payload_seq_;
+  msg.records = std::move(records);
+  log_->Logf(sim_->now(), "reconfig: stable, reporting %zu switches to port %d",
+             msg.records.size(), parent_port_);
+  SendReliable(parent_port_, std::move(msg));
+}
+
+std::vector<SwitchRecord> ReconfigEngine::BuildSubtreeRecords() const {
+  std::vector<SwitchRecord> records;
+  SwitchRecord self;
+  self.uid = self_uid_;
+  self.proposed_num = proposed_num_;
+  self.host_ports = callbacks_.host_ports().bits();
+  for (PortNum p : participants_) {
+    const PortState& ps = ports_[p];
+    self.links.push_back(SwitchRecord::LinkRec{
+        static_cast<std::uint8_t>(p), ps.neighbor_uid,
+        static_cast<std::uint8_t>(ps.neighbor_port)});
+  }
+  records.push_back(std::move(self));
+  for (PortNum p : participants_) {
+    const PortState& ps = ports_[p];
+    if (ps.claims_me && ps.have_report) {
+      records.insert(records.end(), ps.report.begin(), ps.report.end());
+    }
+  }
+  return records;
+}
+
+std::uint64_t ReconfigEngine::Fingerprint(
+    const std::vector<SwitchRecord>& records) const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  for (const SwitchRecord& rec : records) {
+    mix(rec.uid.value());
+    mix(rec.proposed_num);
+    mix(rec.host_ports);
+    for (const SwitchRecord::LinkRec& link : rec.links) {
+      mix(link.local_port);
+      mix(link.remote_uid.value());
+      mix(link.remote_port);
+    }
+  }
+  return h;
+}
+
+void ReconfigEngine::Terminate() {
+  ++stats_.roots_terminated;
+  stats_.last_termination_time = sim_->now();
+  std::vector<SwitchRecord> records = BuildSubtreeRecords();
+  NetTopology topo = RecordsToTopology(records);
+  AssignSwitchNumbers(&topo);
+  log_->Logf(sim_->now(),
+             "reconfig: root terminated epoch %llu with %d switches",
+             static_cast<unsigned long long>(epoch_), topo.size());
+  Distribute(TopologyToRecords(topo), /*from=*/-1);
+}
+
+void ReconfigEngine::Distribute(const std::vector<SwitchRecord>& records,
+                                PortNum from) {
+  NetTopology topo = RecordsToTopology(records);
+  int self_index = topo.IndexOf(self_uid_);
+  if (self_index < 0) {
+    log_->Logf(sim_->now(), "reconfig: config omits this switch; retrigger");
+    Trigger("config omitted self");
+    return;
+  }
+  config_applied_ = true;
+  in_progress_ = false;
+  proposed_num_ = topo.switches[self_index].assigned_num;
+  applied_topo_ = topo;
+  applied_version_ = 0;
+
+  // Step 4 continued: hand the configuration down the tree.
+  std::uint32_t seq = ++payload_seq_;
+  for (PortNum p : participants_) {
+    const PortState& ps = ports_[p];
+    if (p == from || !ps.claims_me) {
+      continue;
+    }
+    ReconfigMsg msg;
+    msg.kind = ReconfigMsg::Kind::kConfig;
+    msg.epoch = epoch_;
+    msg.sender_uid = self_uid_;
+    msg.payload_seq = seq;
+    msg.records = records;
+    SendReliable(p, std::move(msg));
+  }
+
+  // Step 5: compute and load the local forwarding table.
+  ++stats_.completions;
+  stats_.last_config_time = sim_->now();
+  callbacks_.apply_config(topo, self_index, epoch_);
+}
+
+}  // namespace autonet

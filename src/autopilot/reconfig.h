@@ -1,0 +1,203 @@
+// The distributed reconfiguration engine (sections 4.1, 6.6): an extension
+// of Perlman's spanning-tree algorithm with *termination detection*.
+//
+// Protocol outline, per epoch:
+//   1. On a trigger the switch increments its epoch, reloads the one-hop
+//      forwarding table (destroying all packets in the switch — the
+//      prototype's reset-coupled reload), assumes it is the root, and sends
+//      tree-position packets to every s.switch.good neighbor, reliably.
+//   2. Positions improve monotonically under the ordering (root UID, level,
+//      parent UID, parent port).  Acks carry the "this is now my parent
+//      link" bit, so each switch knows its children.
+//   3. A switch is *stable* when every neighbor has acked its current
+//      position and every claiming child has delivered a topology report.
+//      A stable non-root sends its parent a report containing the stable
+//      subtree; a stable self-believed root has detected termination: it
+//      knows the whole topology.
+//   4. The root assigns switch numbers (honoring previous-epoch proposals)
+//      and distributes the configuration down the tree; every switch
+//      computes and loads its up*/down* forwarding table from it.
+//
+// Epochs (section 6.6.2): messages of an older epoch are ignored; a newer
+// epoch resets the switch into that epoch.  Any change in the usable link
+// set during an epoch triggers epoch+1, so each epoch operates on a frozen
+// link set.  As a safety net, protocol traffic that contradicts an applied
+// configuration (a fresh position or report after step 4) triggers a new
+// epoch rather than being patched in place.
+#ifndef SRC_AUTOPILOT_RECONFIG_H_
+#define SRC_AUTOPILOT_RECONFIG_H_
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/autopilot/config.h"
+#include "src/autopilot/messages.h"
+#include "src/common/event_log.h"
+#include "src/common/ids.h"
+#include "src/routing/topology.h"
+#include "src/sim/timer.h"
+
+namespace autonet {
+
+class ReconfigEngine {
+ public:
+  struct Callbacks {
+    // Queue a reconfiguration message out the given port (the caller
+    // applies control-processor send costs).
+    std::function<void(PortNum, const ReconfigMsg&)> send;
+    // Current set of s.switch.good ports, frozen per epoch at join time.
+    std::function<std::vector<PortNum>()> good_ports;
+    // Neighbor identity learned by the connectivity monitor.
+    std::function<Uid(PortNum)> neighbor_uid;
+    std::function<PortNum(PortNum)> neighbor_port;
+    // Ports currently classified s.host (for the topology record).
+    std::function<PortVector()> host_ports;
+    // Step 1: load the one-hop-only forwarding table.
+    std::function<void()> load_one_hop_table;
+    // Step 5: a configuration arrived (or was produced locally at the
+    // root): compute and load the forwarding table.
+    std::function<void(const NetTopology&, int self_index,
+                       std::uint64_t epoch)>
+        apply_config;
+  };
+
+  struct Stats {
+    std::uint64_t epochs_joined = 0;
+    std::uint64_t triggers = 0;
+    std::uint64_t completions = 0;   // configs applied
+    std::uint64_t roots_terminated = 0;  // times this switch was the root
+    std::uint64_t local_updates_applied = 0;   // minor configs applied
+    std::uint64_t deltas_originated = 0;
+    std::uint64_t deltas_relayed = 0;
+    std::uint64_t local_fallbacks = 0;  // delta path refused; full reconfig
+    std::uint64_t messages_sent = 0;
+    std::uint64_t retransmissions = 0;
+    Tick last_join_time = -1;
+    Tick last_config_time = -1;
+    Tick last_termination_time = -1;  // when this switch, as root, knew
+  };
+
+  ReconfigEngine(Simulator* sim, Uid self_uid, const AutopilotConfig* config,
+                 EventLog* log, Callbacks callbacks);
+
+  // A relevant port state change was noticed: start a new epoch.
+  void Trigger(const char* reason);
+  // A switch-to-switch link became usable (up) or unusable (down) at the
+  // named port.  With local reconfiguration enabled this applies the
+  // change as a topology delta when it provably leaves the spanning tree
+  // intact; otherwise (and by default) it triggers a full reconfiguration.
+  void OnLinkStateChange(PortNum port, bool up, Uid neighbor_uid,
+                         PortNum neighbor_port, const char* reason);
+  void OnMessage(PortNum inport, const ReconfigMsg& msg);
+
+  bool in_progress() const { return in_progress_; }
+  std::uint64_t epoch() const { return epoch_; }
+  // Reliable messages awaiting acknowledgment (0 when the protocol is
+  // quiescent).
+  std::size_t outstanding_count() const { return outgoing_.size(); }
+  // Stops retransmission (switch power-off).
+  void Shutdown() {
+    outgoing_.clear();
+    retransmit_task_.Stop();
+    in_progress_ = false;
+  }
+  SwitchNum proposed_num() const { return proposed_num_; }
+  void set_proposed_num(SwitchNum num) { proposed_num_ = num; }
+  const Stats& stats() const { return stats_; }
+
+  // This switch's tree position in the current epoch (for tests).
+  Uid position_root() const { return pos_root_; }
+  int position_level() const { return pos_level_; }
+  PortNum parent_port() const { return parent_port_; }
+
+ private:
+  struct PortState {
+    bool participant = false;
+    Uid neighbor_uid;
+    PortNum neighbor_port = -1;
+    // Their last position.
+    bool have_their_pos = false;
+    Uid their_root;
+    std::uint16_t their_level = 0;
+    std::uint32_t their_seq = 0;
+    Uid their_uid;
+    // Protocol state toward them.
+    bool acked_my_pos = false;
+    bool claims_me = false;
+    bool have_report = false;
+    std::vector<SwitchRecord> report;
+  };
+
+  struct Outgoing {
+    PortNum port;
+    ReconfigMsg msg;
+  };
+
+  void JoinEpoch(std::uint64_t epoch, const char* reason);
+  void ReevaluatePosition();
+  void SendPositionTo(PortNum port);
+  void SendAckTo(PortNum port, std::uint32_t their_seq);
+  void SendReliable(PortNum port, ReconfigMsg msg);
+  void RemoveOutgoing(PortNum port, ReconfigMsg::Kind kind, std::uint32_t seq);
+  void Retransmit();
+  void CheckStability();
+  std::vector<SwitchRecord> BuildSubtreeRecords() const;
+  void Terminate();
+  void Distribute(const std::vector<SwitchRecord>& records, PortNum from);
+  std::uint64_t Fingerprint(const std::vector<SwitchRecord>& records) const;
+
+  // --- local reconfiguration ---
+  struct LinkDelta {
+    bool add;
+    Uid a_uid;
+    PortNum a_port;
+    Uid b_uid;
+    PortNum b_port;
+  };
+  // True if the delta provably leaves the deterministic spanning tree of
+  // the applied topology unchanged (non-tree link, level-compatible).
+  bool DeltaIsLocalizable(const LinkDelta& delta) const;
+  void SendDeltaTowardRoot(const LinkDelta& delta);
+  // At the root: mutate the applied topology and redistribute.
+  void ApplyDeltaAsRoot(const LinkDelta& delta);
+  void ApplyMinorConfig(const ReconfigMsg& msg, PortNum from);
+
+  Simulator* sim_;
+  Uid self_uid_;
+  const AutopilotConfig* config_;
+  EventLog* log_;
+  Callbacks callbacks_;
+
+  std::uint64_t epoch_ = 0;
+  bool in_progress_ = false;
+  bool config_applied_ = false;
+  SwitchNum proposed_num_ = 1;
+
+  // Current position (self-root when pos_root_ == self_uid_).
+  Uid pos_root_;
+  int pos_level_ = 0;
+  Uid parent_uid_;
+  PortNum parent_port_ = -1;
+  std::uint32_t pos_seq_ = 0;
+
+  std::array<PortState, kPortsPerSwitch> ports_{};
+  std::vector<PortNum> participants_;
+  std::vector<Outgoing> outgoing_;
+  PeriodicTask retransmit_task_;
+  std::uint32_t payload_seq_ = 0;
+  std::uint64_t last_report_fingerprint_ = 0;
+
+  // The configuration this switch is running (set when a config or minor
+  // config is applied); basis for local-reconfiguration decisions.
+  std::optional<NetTopology> applied_topo_;
+  std::uint32_t applied_version_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_AUTOPILOT_RECONFIG_H_

@@ -1,0 +1,63 @@
+// The skeptic hysteresis algorithm (section 6.5.5): prevents links with
+// intermittent faults from causing reconfigurations too frequently.  Each
+// relapse doubles the clean period required before the resource is trusted
+// again, up to a maximum; sustained good service earns levels back, so a
+// repaired link eventually regains fast acceptance.
+#ifndef SRC_AUTOPILOT_SKEPTIC_H_
+#define SRC_AUTOPILOT_SKEPTIC_H_
+
+#include <algorithm>
+
+#include "src/common/time.h"
+
+namespace autonet {
+
+class Skeptic {
+ public:
+  Skeptic(Tick base_holddown, Tick max_holddown, Tick forgiveness)
+      : base_(base_holddown), max_(max_holddown), forgiveness_(forgiveness) {}
+
+  // A fault occurred at `now`.
+  void Penalize(Tick now) {
+    // First account for good service since the last event.
+    Forgive(now);
+    ++level_;
+    last_event_ = now;
+  }
+
+  // The clean period currently required before trusting the resource.
+  Tick RequiredHolddown(Tick now) {
+    Forgive(now);
+    Tick holddown = base_;
+    for (int i = 0; i < level_ && holddown < max_; ++i) {
+      holddown *= 2;
+    }
+    return std::min(holddown, max_);
+  }
+
+  int level() const { return level_; }
+
+ private:
+  void Forgive(Tick now) {
+    if (forgiveness_ <= 0) {
+      return;
+    }
+    while (level_ > 0 && now - last_event_ >= forgiveness_) {
+      --level_;
+      last_event_ += forgiveness_;
+    }
+    if (level_ == 0) {
+      last_event_ = now;
+    }
+  }
+
+  Tick base_;
+  Tick max_;
+  Tick forgiveness_;
+  int level_ = 0;
+  Tick last_event_ = 0;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_AUTOPILOT_SKEPTIC_H_

@@ -1,0 +1,50 @@
+#include "src/common/crc.h"
+
+#include <array>
+
+namespace autonet {
+namespace {
+
+constexpr std::uint64_t kPoly = 0x42F0E1EBA9EA3693;  // ECMA-182
+
+std::array<std::uint64_t, 256> BuildTable() {
+  std::array<std::uint64_t, 256> table{};
+  for (int i = 0; i < 256; ++i) {
+    std::uint64_t crc = static_cast<std::uint64_t>(i) << 56;
+    for (int bit = 0; bit < 8; ++bit) {
+      if (crc & (std::uint64_t{1} << 63)) {
+        crc = (crc << 1) ^ kPoly;
+      } else {
+        crc <<= 1;
+      }
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+}  // namespace
+
+const std::uint64_t* Crc64::Table() {
+  static const std::array<std::uint64_t, 256> kTable = BuildTable();
+  return kTable.data();
+}
+
+void Crc64::Update(std::uint8_t byte) {
+  const std::uint64_t* table = Table();
+  state_ = (state_ << 8) ^ table[((state_ >> 56) ^ byte) & 0xFF];
+}
+
+void Crc64::Update(const std::uint8_t* data, std::size_t size) {
+  for (std::size_t i = 0; i < size; ++i) {
+    Update(data[i]);
+  }
+}
+
+std::uint64_t Crc64::Compute(const std::uint8_t* data, std::size_t size) {
+  Crc64 crc;
+  crc.Update(data, size);
+  return crc.Finish();
+}
+
+}  // namespace autonet

@@ -1,0 +1,31 @@
+// CRC-64/WE (the ECMA-182 polynomial with all-ones initial value and final
+// inversion) used for the 8-byte packet CRC field (section 6.8).  The
+// real controller computes CRCs in a Xilinx 3020; switches never touch the
+// CRC of forwarded packets, so only hosts and switch control processors
+// (which check/generate CRCs in software, section 5.1) use this.
+#ifndef SRC_COMMON_CRC_H_
+#define SRC_COMMON_CRC_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace autonet {
+
+class Crc64 {
+ public:
+  // One-shot CRC of a buffer.
+  static std::uint64_t Compute(const std::uint8_t* data, std::size_t size);
+
+  // Incremental interface.
+  void Update(const std::uint8_t* data, std::size_t size);
+  void Update(std::uint8_t byte);
+  std::uint64_t Finish() const { return ~state_; }
+
+ private:
+  static const std::uint64_t* Table();
+  std::uint64_t state_ = ~std::uint64_t{0};
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_CRC_H_

@@ -1,0 +1,67 @@
+#include "src/common/event_log.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace autonet {
+namespace {
+std::atomic<std::uint64_t> g_next_log_seq{1};
+}  // namespace
+
+EventLog::EventLog(std::string node_name, std::size_t capacity)
+    : node_name_(std::move(node_name)), capacity_(capacity) {}
+
+void EventLog::Log(Tick now, std::string message) {
+  if (!enabled_) {
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    entries_.pop_front();
+  }
+  entries_.push_back(LogEntry{now, g_next_log_seq.fetch_add(1), node_name_,
+                              std::move(message)});
+}
+
+void EventLog::Logf(Tick now, const char* fmt, ...) {
+  if (!enabled_) {
+    return;
+  }
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  Log(now, buf);
+}
+
+std::vector<LogEntry> EventLog::Merge(
+    const std::vector<const EventLog*>& logs) {
+  std::vector<LogEntry> merged;
+  for (const EventLog* log : logs) {
+    merged.insert(merged.end(), log->entries().begin(), log->entries().end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LogEntry& a, const LogEntry& b) {
+              if (a.time != b.time) {
+                return a.time < b.time;
+              }
+              return a.seq < b.seq;
+            });
+  return merged;
+}
+
+std::string EventLog::Format(const std::vector<LogEntry>& entries) {
+  std::string out;
+  char buf[96];
+  for (const LogEntry& e : entries) {
+    std::snprintf(buf, sizeof(buf), "%12.3f us  %-12s ",
+                  static_cast<double>(e.time) / 1000.0, e.node.c_str());
+    out += buf;
+    out += e.message;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace autonet

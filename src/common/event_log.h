@@ -1,0 +1,53 @@
+// Per-node circular event log, modeled on Autopilot's reconfiguration log
+// (section 6.7): each switch keeps a timestamped circular log in memory, and
+// the logs of all switches can be merged into a single network-wide history.
+// The merged log was the paper's main debugging tool; it plays the same role
+// in this reproduction's tests and examples.
+#ifndef SRC_COMMON_EVENT_LOG_H_
+#define SRC_COMMON_EVENT_LOG_H_
+
+#include <cstdarg>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace autonet {
+
+struct LogEntry {
+  Tick time = 0;
+  std::uint64_t seq = 0;  // global tiebreaker for identical timestamps
+  std::string node;
+  std::string message;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(std::string node_name, std::size_t capacity = 8192);
+
+  void Log(Tick now, std::string message);
+  [[gnu::format(printf, 3, 4)]] void Logf(Tick now, const char* fmt, ...);
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const std::deque<LogEntry>& entries() const { return entries_; }
+  const std::string& node_name() const { return node_name_; }
+  void Clear() { entries_.clear(); }
+
+  // Merge several logs into one time-ordered history (the paper's merged-log
+  // debugging technique).
+  static std::vector<LogEntry> Merge(const std::vector<const EventLog*>& logs);
+  static std::string Format(const std::vector<LogEntry>& entries);
+
+ private:
+  std::string node_name_;
+  std::size_t capacity_;
+  bool enabled_ = true;
+  std::deque<LogEntry> entries_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_EVENT_LOG_H_

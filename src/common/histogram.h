@@ -1,0 +1,76 @@
+// Simple value accumulator for latency/occupancy statistics in tests and
+// benches.  Stores samples exactly; percentile queries sort on demand.
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace autonet {
+
+class Histogram {
+ public:
+  void Add(double value) {
+    samples_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::min_element(samples_.begin(), samples_.end());
+  }
+  double Max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+  double Mean() const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (double s : samples_) {
+      sum += s;
+    }
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  // p in [0, 100].
+  double Percentile(double p) const {
+    if (samples_.empty()) {
+      return 0.0;
+    }
+    if (!sorted_) {
+      sorted_samples_ = samples_;
+      std::sort(sorted_samples_.begin(), sorted_samples_.end());
+      sorted_ = true;
+    }
+    double rank = p / 100.0 * static_cast<double>(sorted_samples_.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    std::size_t hi = std::min(lo + 1, sorted_samples_.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
+  }
+
+  void Clear() {
+    samples_.clear();
+    sorted_samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

@@ -1,0 +1,20 @@
+#include "src/common/ids.h"
+
+#include <cstdio>
+
+namespace autonet {
+
+std::string Uid::ToString() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "uid:%012llx",
+                static_cast<unsigned long long>(value_));
+  return buf;
+}
+
+std::string ShortAddress::ToString() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "0x%03X", value_);
+  return buf;
+}
+
+}  // namespace autonet

@@ -1,0 +1,41 @@
+#include "src/common/packet.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace autonet {
+
+const char* PacketTypeName(PacketType type) {
+  switch (type) {
+    case PacketType::kEthernetEncap:
+      return "encap";
+    case PacketType::kReconfig:
+      return "reconfig";
+    case PacketType::kConnectivity:
+      return "connectivity";
+    case PacketType::kSrp:
+      return "srp";
+    case PacketType::kHostAddress:
+      return "hostaddr";
+  }
+  return "unknown";
+}
+
+namespace {
+std::atomic<std::uint64_t> g_next_packet_id{1};
+}  // namespace
+
+PacketRef MakePacket(Packet&& packet) {
+  packet.id = g_next_packet_id.fetch_add(1, std::memory_order_relaxed);
+  return std::make_shared<const Packet>(std::move(packet));
+}
+
+std::string Packet::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "pkt#%llu %s %s->%s (%zu bytes)",
+                static_cast<unsigned long long>(id), PacketTypeName(type),
+                src.ToString().c_str(), dest.ToString().c_str(), WireSize());
+  return buf;
+}
+
+}  // namespace autonet

@@ -1,0 +1,106 @@
+// The Autonet packet representation (section 6.8).  On the wire a packet is
+//
+//   2  destination short address     (the only field switches examine)
+//   2  source short address
+//   2  Autonet type
+//   26 encryption information
+//   [ 6 destination UID, 6 source UID, 2 Ethernet type ]   (type 1 only)
+//   0..64K data
+//   8  CRC
+//
+// The simulation carries packets as immutable reference-counted objects;
+// per-hop metadata (corruption, truncation) travels alongside the reference
+// rather than mutating the shared packet.
+#ifndef SRC_COMMON_PACKET_H_
+#define SRC_COMMON_PACKET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace autonet {
+
+enum class PacketType : std::uint16_t {
+  kEthernetEncap = 1,  // encapsulated Ethernet datagram (client traffic, ARP)
+  kReconfig = 2,       // distributed reconfiguration protocol
+  kConnectivity = 3,   // connectivity monitor probe/reply
+  kSrp = 4,            // source-routed debugging/monitoring protocol
+  kHostAddress = 5,    // host <-> local switch short-address request/reply
+};
+
+const char* PacketTypeName(PacketType type);
+
+// Fixed wire overheads.
+inline constexpr std::size_t kAutonetHeaderBytes = 32;  // addrs+type+crypto
+inline constexpr std::size_t kEncapHeaderBytes = 14;    // UIDs + Ethernet type
+inline constexpr std::size_t kCrcBytes = 8;
+
+// Maximum data payload for broadcast packets and packets bridged to an
+// Ethernet (section 6.8): the 1500-byte Ethernet limit.  The receive FIFO is
+// sized so that a complete maximal broadcast packet (~1550 bytes of slots)
+// fits (section 6.2).
+inline constexpr std::size_t kMaxBridgedData = 1500;
+inline constexpr std::size_t kMaxData = 64 * 1024;
+
+struct Packet {
+  ShortAddress dest;
+  ShortAddress src;
+  PacketType type = PacketType::kEthernetEncap;
+
+  // Encryption information (part of the 26-byte crypto header).
+  bool encrypted = false;
+  std::uint32_t key_id = 0;
+  std::uint64_t crypto_iv = 0;  // per-packet initialization vector
+
+  // Encapsulated-Ethernet fields; meaningful only for kEthernetEncap.
+  Uid dest_uid;
+  Uid src_uid;
+  std::uint16_t ether_type = 0;
+
+  std::vector<std::uint8_t> payload;
+
+  // Set by an Autonet-to-Ethernet bridge on packets it forwards in from the
+  // Ethernet, telling Autonet hosts not to attempt encryption or long
+  // packets with the source host (section 6.8.2).
+  bool from_ethernet = false;
+
+  // Simulation bookkeeping (not on the wire).
+  std::uint64_t id = 0;       // unique per transmitted packet
+  Tick created_at = 0;        // when the source handed it to its controller
+
+  // Total bytes transmitted for this packet, excluding the begin/end framing
+  // commands (which occupy their own slots).
+  std::size_t WireSize() const {
+    std::size_t n = kAutonetHeaderBytes + payload.size() + kCrcBytes;
+    if (type == PacketType::kEthernetEncap) {
+      n += kEncapHeaderBytes;
+    }
+    return n;
+  }
+
+  std::string ToString() const;
+};
+
+using PacketRef = std::shared_ptr<const Packet>;
+
+// Builder helpers.
+PacketRef MakePacket(Packet&& packet);
+
+// A received packet plus per-delivery integrity metadata.
+struct Delivery {
+  PacketRef packet;
+  bool corrupted = false;   // a data byte was damaged in flight (CRC fails)
+  bool truncated = false;   // the packet lost its tail (switch reset, cut)
+  PortNum arrival_port = -1;
+  Tick delivered_at = 0;
+
+  bool intact() const { return !corrupted && !truncated; }
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_PACKET_H_

@@ -1,0 +1,19 @@
+#include "src/common/port_vector.h"
+
+namespace autonet {
+
+std::string PortVector::ToString() const {
+  std::string out = "{";
+  bool first = true;
+  ForEach([&](PortNum p) {
+    if (!first) {
+      out += ",";
+    }
+    out += std::to_string(p);
+    first = false;
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace autonet

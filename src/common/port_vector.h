@@ -1,0 +1,84 @@
+// A 13-bit set of switch ports, as stored in forwarding table entries
+// (section 6.3: "Each 2-byte forwarding table entry contains a 13-bit port
+// vector and a 1-bit broadcast flag").
+#ifndef SRC_COMMON_PORT_VECTOR_H_
+#define SRC_COMMON_PORT_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/ids.h"
+
+namespace autonet {
+
+class PortVector {
+ public:
+  static constexpr std::uint16_t kMask = (1u << kPortsPerSwitch) - 1;
+
+  constexpr PortVector() = default;
+  explicit constexpr PortVector(std::uint16_t bits) : bits_(bits & kMask) {}
+
+  static constexpr PortVector Single(PortNum port) {
+    return PortVector(static_cast<std::uint16_t>(1u << port));
+  }
+  static constexpr PortVector All() { return PortVector(kMask); }
+
+  constexpr std::uint16_t bits() const { return bits_; }
+  constexpr bool empty() const { return bits_ == 0; }
+  constexpr bool Test(PortNum port) const {
+    return (bits_ >> port) & 1u;
+  }
+  constexpr void Set(PortNum port) {
+    bits_ = static_cast<std::uint16_t>(bits_ | (1u << port));
+  }
+  constexpr void Clear(PortNum port) {
+    bits_ = static_cast<std::uint16_t>(bits_ & ~(1u << port));
+  }
+  constexpr int Count() const { return __builtin_popcount(bits_); }
+
+  // Lowest-numbered port in the set; -1 if empty.  The switch hardware
+  // prefers the lowest-numbered free port when several alternatives are free
+  // (section 6.3).
+  constexpr PortNum Lowest() const {
+    return bits_ == 0 ? -1 : __builtin_ctz(bits_);
+  }
+
+  constexpr PortVector operator|(PortVector o) const {
+    return PortVector(static_cast<std::uint16_t>(bits_ | o.bits_));
+  }
+  constexpr PortVector operator&(PortVector o) const {
+    return PortVector(static_cast<std::uint16_t>(bits_ & o.bits_));
+  }
+  constexpr PortVector operator~() const {
+    return PortVector(static_cast<std::uint16_t>(~bits_));
+  }
+  constexpr PortVector& operator|=(PortVector o) {
+    bits_ = static_cast<std::uint16_t>(bits_ | o.bits_);
+    return *this;
+  }
+  constexpr PortVector& operator&=(PortVector o) {
+    bits_ = static_cast<std::uint16_t>(bits_ & o.bits_);
+    return *this;
+  }
+
+  friend constexpr bool operator==(PortVector a, PortVector b) = default;
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::uint16_t b = bits_;
+    while (b != 0) {
+      PortNum p = __builtin_ctz(b);
+      fn(p);
+      b = static_cast<std::uint16_t>(b & (b - 1));
+    }
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::uint16_t bits_ = 0;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_PORT_VECTOR_H_

@@ -1,0 +1,91 @@
+// Little-endian byte-stream writer/reader used to serialize control-protocol
+// message bodies (reconfiguration, connectivity, SRP) into packet payloads.
+#ifndef SRC_COMMON_SERIALIZE_H_
+#define SRC_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace autonet {
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { bytes_.push_back(v); }
+  void U16(std::uint16_t v) {
+    U8(static_cast<std::uint8_t>(v));
+    U8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void U32(std::uint32_t v) {
+    U16(static_cast<std::uint16_t>(v));
+    U16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void U64(std::uint64_t v) {
+    U32(static_cast<std::uint32_t>(v));
+    U32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void WriteUid(Uid uid) { U64(uid.value()); }
+  void WriteShortAddress(ShortAddress a) { U16(a.value()); }
+  void Bytes(const std::uint8_t* data, std::size_t n) {
+    bytes_.insert(bytes_.end(), data, data + n);
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> Take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+// Reader with saturating error handling: reading past the end sets ok() to
+// false and yields zeros, so malformed (e.g. truncated or corrupted) control
+// packets degrade to rejectable messages instead of undefined behavior.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::vector<std::uint8_t>& bytes)
+      : bytes_(bytes.data()), size_(bytes.size()) {}
+  ByteReader(const std::uint8_t* bytes, std::size_t size)
+      : bytes_(bytes), size_(size) {}
+
+  std::uint8_t U8() {
+    if (pos_ >= size_) {
+      ok_ = false;
+      return 0;
+    }
+    return bytes_[pos_++];
+  }
+  std::uint16_t U16() {
+    std::uint16_t lo = U8();
+    std::uint16_t hi = U8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t U32() {
+    std::uint32_t lo = U16();
+    std::uint32_t hi = U16();
+    return lo | (hi << 16);
+  }
+  std::uint64_t U64() {
+    std::uint64_t lo = U32();
+    std::uint64_t hi = U32();
+    return lo | (hi << 32);
+  }
+  Uid ReadUid() { return Uid(U64()); }
+  ShortAddress ReadShortAddress() { return ShortAddress(U16()); }
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* bytes_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_COMMON_SERIALIZE_H_

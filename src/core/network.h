@@ -1,0 +1,144 @@
+// The top-level harness: instantiates a whole Autonet — switches with
+// Autopilot control programs, point-to-point links, dual-homed host
+// controllers with failover drivers — from a TopoSpec on one simulator, and
+// provides fault injection (cut/restore cables, crash/restart switches,
+// reflecting links), convergence detection, and consistency checking.
+//
+// This is the public entry point a user of the library starts from; see
+// examples/quickstart.cc.
+#ifndef SRC_CORE_NETWORK_H_
+#define SRC_CORE_NETWORK_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/autopilot/autopilot.h"
+#include "src/fabric/switch.h"
+#include "src/host/controller.h"
+#include "src/host/driver.h"
+#include "src/link/link.h"
+#include "src/sim/simulator.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+
+struct NetworkConfig {
+  AutopilotConfig autopilot;       // defaults to the tuned generation
+  Switch::Config switch_config;
+  HostController::Config host_config;
+  AutonetDriver::Config driver_config;
+  bool start_drivers = true;       // hosts register automatically on Boot()
+  bool collect_deliveries = true;  // keep per-host inboxes for tests/benches
+  std::size_t inbox_limit = 4096;
+};
+
+class Network {
+ public:
+  explicit Network(TopoSpec spec);
+  Network(TopoSpec spec, NetworkConfig config);
+  ~Network();
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Simulator& sim() { return sim_; }
+  const TopoSpec& spec() const { return spec_; }
+
+  int num_switches() const { return static_cast<int>(switches_.size()); }
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Switch& switch_at(int i) { return *switches_[i]; }
+  Autopilot& autopilot_at(int i) { return *autopilots_[i]; }
+  HostController& host_at(int i) { return *hosts_[i]; }
+  AutonetDriver& driver_at(int i) { return *drivers_[i]; }
+  Link& cable_at(int i) { return *cables_[i]; }
+  Link& host_link(int host, int which) { return *host_links_[host][which]; }
+
+  // Boots every switch control program and starts every host driver.
+  void Boot();
+
+  // Runs the simulation until the control plane has been quiescent (no
+  // reconfiguration in progress, no reliable messages outstanding, no table
+  // loads) for `quiet`, or until the deadline.  Returns true on
+  // convergence.
+  bool WaitForConvergence(Tick deadline, Tick quiet = 100 * kMillisecond);
+
+  // Like WaitForConvergence, but keeps waiting (e.g. for skeptic holddowns
+  // to be served) until CheckConsistency() passes or the deadline expires.
+  bool WaitForConsistency(Tick deadline, Tick quiet = 100 * kMillisecond);
+
+  // Waits until every host whose active switch is alive has learned its
+  // short address from that switch.
+  bool WaitForHostsRegistered(Tick deadline);
+
+  // Runs the simulation for the given duration.
+  void Run(Tick duration) { sim_.RunUntil(sim_.now() + duration); }
+
+  // Empty string when the converged control plane is consistent: all alive
+  // switches agree on the epoch and topology, the topology matches the
+  // healthy part of the spec, every pair of hosts is routed, and the
+  // channel dependency graph is acyclic.
+  std::string CheckConsistency();
+
+  // --- fault injection ---
+  void CutCable(int cable);
+  void RestoreCable(int cable);
+  void SetCableReflecting(int cable, Link::Side powered_side);
+  void CutHostLink(int host, int which);
+  void RestoreHostLink(int host, int which);
+  void CrashSwitch(int i);
+  void RestartSwitch(int i);
+  bool switch_alive(int i) const { return alive_[i]; }
+
+  // --- traffic helpers ---
+  // Sends `data_bytes` of client data from one host to another (requires
+  // both drivers registered).  Returns false if not possible yet.
+  bool SendData(int src_host, int dst_host, std::size_t data_bytes,
+                std::uint16_t ether_type = 0x0800);
+  const std::vector<Delivery>& inbox(int host) const { return inboxes_[host]; }
+  void ClearInboxes();
+
+  // --- measurement ---
+  // Duration of the most recent reconfiguration wave: from the earliest
+  // epoch join to the latest forwarding-table load, over alive switches.
+  struct ReconfigTiming {
+    std::uint64_t epoch = 0;
+    Tick start = -1;
+    Tick end = -1;
+    Tick Duration() const { return start < 0 || end < 0 ? -1 : end - start; }
+  };
+  ReconfigTiming LastReconfig() const;
+
+  // The topology the control plane should converge to given current faults.
+  NetTopology HealthyTopology() const;
+
+  std::vector<LogEntry> MergedLog() const;
+
+ private:
+  void RefreshLinkMode(int cable);
+  bool ControlPlaneIdle() const;
+  Tick LastControlActivity() const;
+
+  TopoSpec spec_;
+  NetworkConfig config_;
+  Simulator sim_;
+
+  // Links are declared before the devices that detach from them on
+  // destruction.
+  std::vector<std::unique_ptr<Link>> cables_;
+  std::vector<std::array<std::unique_ptr<Link>, 2>> host_links_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Autopilot>> autopilots_;
+  std::vector<std::unique_ptr<HostController>> hosts_;
+  std::vector<std::unique_ptr<AutonetDriver>> drivers_;
+
+  std::vector<bool> alive_;
+  std::vector<bool> cable_cut_;
+  std::vector<std::array<bool, 2>> host_link_cut_;
+  std::vector<std::vector<Delivery>> inboxes_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_CORE_NETWORK_H_

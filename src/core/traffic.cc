@@ -1,0 +1,124 @@
+#include "src/core/traffic.h"
+
+#include <algorithm>
+
+namespace autonet {
+
+std::vector<TrafficGenerator::Flow> TrafficGenerator::Permutation(
+    int num_hosts, int stride) {
+  std::vector<Flow> flows;
+  for (int i = 0; i < num_hosts; ++i) {
+    int j = (i + stride) % num_hosts;
+    if (j != i) {
+      flows.push_back({i, j});
+    }
+  }
+  return flows;
+}
+
+std::vector<TrafficGenerator::Flow> TrafficGenerator::AllToAll(int num_hosts) {
+  std::vector<Flow> flows;
+  for (int i = 0; i < num_hosts; ++i) {
+    for (int j = 0; j < num_hosts; ++j) {
+      if (i != j) {
+        flows.push_back({i, j});
+      }
+    }
+  }
+  return flows;
+}
+
+std::vector<TrafficGenerator::Flow> TrafficGenerator::RandomPairs(
+    int num_hosts, int count) {
+  std::vector<Flow> flows;
+  for (int i = 0; i < count; ++i) {
+    int a = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
+    int b = static_cast<int>(rng_.UniformInt(0, num_hosts - 2));
+    if (b >= a) {
+      ++b;
+    }
+    flows.push_back({a, b});
+  }
+  return flows;
+}
+
+bool TrafficGenerator::Offer(const Flow& flow) {
+  return net_->SendData(flow.src_host, flow.dst_host, config_.data_bytes);
+}
+
+TrafficGenerator::Report TrafficGenerator::Run(const std::vector<Flow>& flows,
+                                               Tick duration) {
+  Report report;
+  net_->ClearInboxes();
+  Tick start = net_->sim().now();
+  Tick deadline = start + duration;
+
+  if (config_.mean_interarrival > 0) {
+    // Poisson arrivals per flow.
+    struct Arrival {
+      Tick when;
+      std::size_t flow;
+    };
+    std::vector<Arrival> next;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      next.push_back({start + static_cast<Tick>(rng_.Exponential(
+                                  static_cast<double>(
+                                      config_.mean_interarrival))),
+                      f});
+    }
+    while (net_->sim().now() < deadline) {
+      Tick step_end = std::min(net_->sim().now() + kMillisecond, deadline);
+      for (Arrival& a : next) {
+        while (a.when <= step_end) {
+          if (Offer(flows[a.flow])) {
+            ++report.sent;
+          } else {
+            ++report.send_rejected;
+          }
+          a.when += static_cast<Tick>(rng_.Exponential(
+              static_cast<double>(config_.mean_interarrival)));
+        }
+      }
+      net_->Run(step_end - net_->sim().now());
+    }
+  } else {
+    // Saturating: keep a few packets queued per source.
+    while (net_->sim().now() < deadline) {
+      for (const Flow& flow : flows) {
+        while (net_->host_at(flow.src_host).tx_queued_bytes() <
+               3 * config_.data_bytes) {
+          if (Offer(flow)) {
+            ++report.sent;
+          } else {
+            ++report.send_rejected;
+            break;
+          }
+        }
+      }
+      net_->Run(kMillisecond);
+    }
+  }
+  // Drain in-flight deliveries briefly.
+  net_->Run(10 * kMillisecond);
+
+  std::uint64_t delivered_bytes = 0;
+  for (int h = 0; h < net_->num_hosts(); ++h) {
+    for (const Delivery& d : net_->inbox(h)) {
+      if (!d.intact()) {
+        ++report.damaged;
+        continue;
+      }
+      ++report.delivered;
+      delivered_bytes += d.packet->payload.size();
+      if (d.packet->created_at > 0) {
+        report.latency_us.Add(
+            static_cast<double>(d.delivered_at - d.packet->created_at) / 1e3);
+      }
+    }
+  }
+  report.delivered_mbps = static_cast<double>(delivered_bytes) * 8.0 /
+                          (static_cast<double>(duration) / 1e9) / 1e6;
+  return report;
+}
+
+}  // namespace autonet

@@ -1,0 +1,144 @@
+#include "src/fabric/forwarder.h"
+
+#include "src/fabric/switch.h"
+#include "src/link/slots.h"
+
+namespace autonet {
+
+Forwarder::Forwarder(Switch* owner, PortNum inport, PortVector outports,
+                     bool broadcast)
+    : owner_(owner),
+      inport_(inport),
+      outports_(outports),
+      broadcast_(broadcast) {}
+
+Forwarder::~Forwarder() {
+  if (pump_event_.valid()) {
+    owner_->sim()->Cancel(pump_event_);
+  }
+}
+
+void Forwarder::Start() { SchedulePump(); }
+
+bool Forwarder::OutputsAllowTransmit() const {
+  bool ok = true;
+  outports_.ForEach([&](PortNum p) {
+    if (!owner_->port(p).CanTransmitNow()) {
+      ok = false;
+    }
+  });
+  return ok;
+}
+
+bool Forwarder::StalledByFlowControl() const {
+  if (drain_only()) {
+    return false;
+  }
+  if (!begun_) {
+    // Transmission must begin under a start (or host) directive on every
+    // chosen output port.
+    return !OutputsAllowTransmit();
+  }
+  if (broadcast_ && owner_->config().broadcast_ignores_stop) {
+    return false;  // section 6.6.6 fix: ignore stop until end of packet
+  }
+  return !OutputsAllowTransmit();
+}
+
+void Forwarder::SchedulePump() {
+  if (pump_event_.valid() || finished_) {
+    return;
+  }
+  Tick when = NextDataSlotAfter(owner_->now());
+  pump_event_ = owner_->sim()->ScheduleAt(when, [this] {
+    pump_event_ = {};
+    Pump();
+  });
+}
+
+void Forwarder::OnFifoActivity() {
+  if (!finished_) {
+    SchedulePump();
+  }
+}
+
+void Forwarder::OnThrottleChange() {
+  if (!finished_ && !StalledByFlowControl()) {
+    SchedulePump();
+  }
+}
+
+void Forwarder::Pump() {
+  if (finished_) {
+    return;
+  }
+  if (StalledByFlowControl()) {
+    return;  // resume on OnThrottleChange
+  }
+  if (!begun_) {
+    // Transmit the begin command (one slot), then stream bytes.
+    PortFifo& fifo = owner_->port(inport_).fifo();
+    if (!fifo.HasHead()) {
+      return;  // reset raced us; owner will clean up
+    }
+    const PacketRef& packet = fifo.head().packet;
+    if (outports_.Test(kCpPort)) {
+      owner_->NoteCpArrivalPort(inport_);
+    }
+    outports_.ForEach(
+        [&](PortNum p) { owner_->port(p).SendBegin(packet); });
+    begun_ = true;
+    bytes_moved_ = 0;
+    SchedulePump();
+    return;
+  }
+  PortFifo& fifo = owner_->port(inport_).fifo();
+  if (auto offset = fifo.PopByte()) {
+    const PacketRef& packet = fifo.head().packet;
+    outports_.ForEach(
+        [&](PortNum p) { owner_->port(p).SendByte(packet, *offset); });
+    ++bytes_moved_;
+    owner_->AfterFifoPop(inport_);
+    SchedulePump();
+    return;
+  }
+  if (auto end = fifo.TryPopEnd()) {
+    owner_->AfterFifoPop(inport_);
+    Finish(*end);
+    return;
+  }
+  // Mid-packet with nothing buffered: the upstream transmitter has been
+  // stopped somewhere behind us.  The Underflow status condition.
+  owner_->port(inport_).RecordUnderflow();
+  // Resume when bytes arrive (OnFifoActivity).
+}
+
+void Forwarder::Finish(EndFlags flags) {
+  finished_ = true;
+  if (pump_event_.valid()) {
+    owner_->sim()->Cancel(pump_event_);
+    pump_event_ = {};
+  }
+  outports_.ForEach([&](PortNum p) { owner_->port(p).SendEnd(flags); });
+  // Must be the last action: the owner destroys this forwarder.
+  owner_->OnForwarderDone(inport_, drain_only(), bytes_moved_);
+}
+
+void Forwarder::Abort() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (pump_event_.valid()) {
+    owner_->sim()->Cancel(pump_event_);
+    pump_event_ = {};
+  }
+  if (begun_) {
+    // The packet loses its tail; downstream sees a truncated end.
+    outports_.ForEach([&](PortNum p) {
+      owner_->port(p).SendEnd(EndFlags{.truncated = true, .corrupted = true});
+    });
+  }
+}
+
+}  // namespace autonet

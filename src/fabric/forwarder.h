@@ -1,0 +1,73 @@
+// A forwarder is an active crossbar connection: it pumps symbols from one
+// receive FIFO to a set of output ports, one byte per data slot (cut-
+// through, section 3.5).  A forwarder with no output ports drains and
+// discards the head packet (a forwarding-table discard entry).
+//
+// Flow-control interaction:
+//   * transmission does not begin until every chosen output port's last
+//     received directive allows it;
+//   * an alternatives (unicast) forwarder stalls mid-packet whenever its
+//     output port is stopped;
+//   * a broadcast forwarder, under the paper's deadlock fix (section 6.6.6),
+//     ignores stop once transmission has begun.  Config::broadcast_ignores_
+//     stop=false restores the deadlocking behaviour of Figure 9 for the E7
+//     baseline.
+#ifndef SRC_FABRIC_FORWARDER_H_
+#define SRC_FABRIC_FORWARDER_H_
+
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/common/port_vector.h"
+#include "src/common/time.h"
+#include "src/link/link.h"
+#include "src/sim/simulator.h"
+
+namespace autonet {
+
+class Switch;
+
+class Forwarder {
+ public:
+  Forwarder(Switch* owner, PortNum inport, PortVector outports,
+            bool broadcast);
+  ~Forwarder();
+
+  Forwarder(const Forwarder&) = delete;
+  Forwarder& operator=(const Forwarder&) = delete;
+
+  void Start();
+
+  // New symbols arrived in the input FIFO.
+  void OnFifoActivity();
+  // An output port's flow-control gate changed.
+  void OnThrottleChange();
+  // Switch reset: terminate, transmitting a truncated end if mid-packet.
+  // The owner destroys the forwarder afterwards.
+  void Abort();
+
+  PortNum inport() const { return inport_; }
+  PortVector outports() const { return outports_; }
+  bool broadcast() const { return broadcast_; }
+  bool drain_only() const { return outports_.empty(); }
+
+ private:
+  bool OutputsAllowTransmit() const;
+  bool StalledByFlowControl() const;
+  void SchedulePump();
+  void Pump();
+  void Finish(EndFlags flags);
+
+  Switch* owner_;
+  PortNum inport_;
+  PortVector outports_;
+  bool broadcast_;
+  bool begun_ = false;       // begin command sent
+  bool finished_ = false;
+  std::size_t bytes_moved_ = 0;
+  Simulator::EventId pump_event_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_FABRIC_FORWARDER_H_

@@ -1,0 +1,88 @@
+// The switch forwarding table (section 6.3, Figure 6): 2-byte entries
+// indexed by the receiving port number concatenated with the packet's
+// destination short address.  Each entry holds a 13-bit port vector and a
+// 1-bit broadcast flag:
+//
+//   broadcast == 0: the vector lists *alternative* ports; the switch uses
+//                   the first free one (lowest number wins on ties).
+//   broadcast == 1: the vector lists ports that must all forward the packet
+//                   simultaneously; an all-zero vector means "discard".
+//
+// Indexing by receiving port differentiates the up and down phases of
+// broadcast flooding, supports one-hop port-addressed packets, and lets a
+// switch discard packets whose corrupted address would violate the
+// up*/down* rule (section 6.6.4).
+#ifndef SRC_FABRIC_FORWARDING_TABLE_H_
+#define SRC_FABRIC_FORWARDING_TABLE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/port_vector.h"
+
+namespace autonet {
+
+class ForwardingTable {
+ public:
+  struct Entry {
+    PortVector ports;
+    bool broadcast = false;
+
+    bool IsDiscard() const { return ports.empty(); }
+    static Entry Discard() { return Entry{PortVector(), true}; }
+    static Entry Alternatives(PortVector v) { return Entry{v, false}; }
+    static Entry Broadcast(PortVector v) { return Entry{v, true}; }
+  };
+
+  // Tables start out discarding everything.
+  ForwardingTable();
+
+  Entry Lookup(PortNum inport, ShortAddress addr) const {
+    return Unpack(entries_[Index(inport, addr)]);
+  }
+  void Set(PortNum inport, ShortAddress addr, Entry entry) {
+    entries_[Index(inport, addr)] = Pack(entry);
+  }
+  void SetForAllInports(ShortAddress addr, Entry entry);
+  void Clear();
+
+  // The constant part of every table (section 6.7): one-hop addresses
+  // 0x001..0x00F go out the named port when sent by the control processor
+  // and to the control processor when received from any external port, and
+  // address 0x000 reaches the local control processor from any external
+  // port.  This is the table loaded during step 1 of reconfiguration and the
+  // reason SRP packets keep working while routing is down.
+  static ForwardingTable OneHopOnly();
+
+  // Adds the constant one-hop part to this table.
+  void AddOneHopEntries();
+
+  bool operator==(const ForwardingTable& other) const {
+    return entries_ == other.entries_;
+  }
+
+ private:
+  static constexpr std::size_t kEntries =
+      static_cast<std::size_t>(kPortsPerSwitch) * (ShortAddress::kMask + 1);
+
+  static std::size_t Index(PortNum inport, ShortAddress addr) {
+    return static_cast<std::size_t>(inport) * (ShortAddress::kMask + 1) +
+           addr.value();
+  }
+  static std::uint16_t Pack(Entry e) {
+    return static_cast<std::uint16_t>(e.ports.bits() |
+                                      (e.broadcast ? 0x2000 : 0));
+  }
+  static Entry Unpack(std::uint16_t bits) {
+    return Entry{PortVector(static_cast<std::uint16_t>(bits & 0x1FFF)),
+                 (bits & 0x2000) != 0};
+  }
+
+  std::vector<std::uint16_t> entries_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_FABRIC_FORWARDING_TABLE_H_

@@ -1,0 +1,190 @@
+#include "src/fabric/link_unit.h"
+
+#include "src/fabric/switch.h"
+
+namespace autonet {
+
+LinkUnit::LinkUnit(Switch* owner, PortNum port_num, std::size_t fifo_capacity)
+    : Port(fifo_capacity), owner_(owner), port_num_(port_num) {}
+
+void LinkUnit::AttachLink(Link* link, Link::Side side) {
+  link_ = link;
+  side_ = side;
+  link_->Attach(side, this);
+  status_.carrier = link_->CarrierAt(side_);
+  UpdateOutgoingFlow();
+}
+
+void LinkUnit::DetachLink() {
+  if (link_ != nullptr) {
+    link_->Detach(side_);
+    link_ = nullptr;
+  }
+  status_.carrier = false;
+}
+
+PortStatus LinkUnit::ReadAndClearStatus() {
+  PortStatus snapshot = status_;
+  snapshot.is_host = last_rx_directive_ == FlowDirective::kHost;
+  snapshot.xmit_ok = DirectiveAllowsTransmit(last_rx_directive_);
+  snapshot.in_packet = tx_in_packet_;
+  snapshot.carrier = link_ != nullptr && link_->CarrierAt(side_);
+  snapshot.last_rx_directive = last_rx_directive_;
+  snapshot.fifo_occupancy = fifo_.occupancy();
+  if (link_ != nullptr) {
+    // Flow slots that carried sync instead of a directive (alternate host
+    // port attached) surface as BadSyntax, which is how the status sampler
+    // recognises an alternate host port (section 6.5.3).
+    std::int64_t missed =
+        link_->MissedDirectiveSlots(side_, last_status_read_);
+    snapshot.bad_syntax += static_cast<std::uint32_t>(
+        missed > 0xFFFF ? 0xFFFF : missed);
+  }
+  last_status_read_ = link_ != nullptr ? link_->sim()->now() : last_status_read_;
+  // Clear the accumulated counters; keep the currents.
+  status_ = PortStatus{};
+  status_.carrier = snapshot.carrier;
+  return snapshot;
+}
+
+void LinkUnit::SetForceIdhy(bool force) {
+  if (force_idhy_ == force) {
+    return;
+  }
+  force_idhy_ = force;
+  UpdateOutgoingFlow();
+}
+
+void LinkUnit::SendPanicPulse() {
+  if (link_ == nullptr) {
+    return;
+  }
+  link_->SetFlowDirective(side_, FlowDirective::kPanic);
+  // Resume normal flow control after one flow-slot period.
+  link_->sim()->ScheduleAfter(kFlowSlotPeriod * kSlotNs,
+                              [this] { UpdateOutgoingFlow(); });
+}
+
+bool LinkUnit::CanTransmitNow() const {
+  return DirectiveAllowsTransmit(last_rx_directive_);
+}
+
+void LinkUnit::SendBegin(const PacketRef& packet) {
+  tx_in_packet_ = true;
+  if (link_ != nullptr) {
+    link_->TransmitBegin(side_, packet);
+  }
+}
+
+void LinkUnit::SendByte(const PacketRef& packet, std::uint32_t offset) {
+  if (link_ != nullptr) {
+    link_->TransmitByte(side_, packet, offset);
+  }
+}
+
+void LinkUnit::SendEnd(EndFlags flags) {
+  tx_in_packet_ = false;
+  if (link_ != nullptr) {
+    link_->TransmitEnd(side_, flags);
+  }
+}
+
+void LinkUnit::OnPacketBegin(const PacketRef& packet) {
+  if (fifo_.receiving()) {
+    // begin inside a packet: improper framing.
+    ++status_.bad_syntax;
+    fifo_.AbortIncoming();
+  }
+  fifo_.PushBegin(packet);
+}
+
+void LinkUnit::OnDataByte(const PacketRef& packet, std::uint32_t offset,
+                          bool corrupt) {
+  (void)packet;
+  (void)offset;
+  if (!fifo_.receiving()) {
+    ++status_.bad_syntax;  // data outside a packet
+    return;
+  }
+  if (corrupt) {
+    ++status_.bad_code;
+    fifo_.MarkIncomingCorrupt();
+  }
+  bool was_half = fifo_.MoreThanHalfFull();
+  if (!fifo_.PushByte()) {
+    ++status_.overflow;
+  }
+  if (fifo_.MoreThanHalfFull() != was_half) {
+    UpdateOutgoingFlow();
+  }
+  owner_->OnFifoActivity(port_num_);
+}
+
+void LinkUnit::OnPacketEnd(EndFlags flags) {
+  if (!fifo_.receiving()) {
+    ++status_.bad_syntax;
+    return;
+  }
+  fifo_.PushEnd(flags);
+  owner_->OnFifoActivity(port_num_);
+}
+
+void LinkUnit::OnFlowDirective(FlowDirective directive) {
+  switch (directive) {
+    case FlowDirective::kStart:
+    case FlowDirective::kHost:
+      ++status_.start_seen;
+      break;
+    case FlowDirective::kIdhy:
+      ++status_.idhy_seen;
+      break;
+    case FlowDirective::kPanic:
+      ++status_.panic_seen;
+      // Panic resets the link unit so reconfiguration packets get through.
+      ResetReceiveSide();
+      break;
+    case FlowDirective::kStop:
+    case FlowDirective::kNone:
+      break;
+  }
+  bool could_transmit = DirectiveAllowsTransmit(last_rx_directive_);
+  last_rx_directive_ = directive;
+  if (DirectiveAllowsTransmit(directive) != could_transmit) {
+    owner_->OnXmitOkChange(port_num_);
+  }
+}
+
+void LinkUnit::OnCarrierChange(bool carrier_up) {
+  status_.carrier = carrier_up;
+  if (!carrier_up) {
+    if (fifo_.receiving()) {
+      ++status_.bad_syntax;  // packet truncated by loss of signal
+      fifo_.AbortIncoming();
+      owner_->OnFifoActivity(port_num_);
+    }
+    // Loss of signal shows up as code violations at the TAXI receiver.
+    ++status_.bad_code;
+  }
+}
+
+void LinkUnit::UpdateOutgoingFlow() {
+  if (link_ == nullptr) {
+    return;
+  }
+  FlowDirective d;
+  if (force_idhy_) {
+    d = FlowDirective::kIdhy;
+  } else {
+    d = fifo_.MoreThanHalfFull() ? FlowDirective::kStop
+                                 : FlowDirective::kStart;
+  }
+  link_->SetFlowDirective(side_, d);
+}
+
+void LinkUnit::ResetReceiveSide() {
+  fifo_.Clear();
+  owner_->OnPortReceiveReset(port_num_);
+  UpdateOutgoingFlow();
+}
+
+}  // namespace autonet

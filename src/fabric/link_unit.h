@@ -1,0 +1,107 @@
+// A link unit terminates one external full-duplex link of a switch
+// (section 5.1): the receive path buffers arriving symbols in the port FIFO
+// and derives the flow control sent back on the same link's reverse channel;
+// the transmit path carries crossbar output down the link.  The unit also
+// maintains the hardware status bits of section 6.5.2 that the status
+// sampler reads.
+#ifndef SRC_FABRIC_LINK_UNIT_H_
+#define SRC_FABRIC_LINK_UNIT_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+#include "src/fabric/port.h"
+#include "src/link/flow.h"
+#include "src/link/link.h"
+
+namespace autonet {
+
+class Switch;
+
+// Snapshot of a link unit's status indicators (section 6.5.2).  Current
+// conditions are instantaneous; accumulated counts are since the previous
+// ReadAndClearStatus() call.
+struct PortStatus {
+  // Current conditions.
+  bool is_host = false;   // last flow control was `host`
+  bool xmit_ok = false;   // last flow control allows transmission
+  bool in_packet = false; // transmitter is mid-packet
+  bool carrier = false;   // receive channel has signal
+  FlowDirective last_rx_directive = FlowDirective::kNone;
+  std::size_t fifo_occupancy = 0;
+
+  // Accumulated conditions (cleared on read).
+  std::uint32_t bad_code = 0;     // damaged symbols / loss of signal
+  std::uint32_t bad_syntax = 0;   // framing errors, missing directives
+  std::uint32_t overflow = 0;
+  std::uint32_t underflow = 0;
+  std::uint32_t idhy_seen = 0;
+  std::uint32_t panic_seen = 0;
+  std::uint32_t start_seen = 0;   // start/host directives received
+  std::uint64_t bytes_forwarded = 0;  // progress out of the receive FIFO
+};
+
+class LinkUnit final : public Port, public LinkEndpoint {
+ public:
+  LinkUnit(Switch* owner, PortNum port_num, std::size_t fifo_capacity);
+
+  void AttachLink(Link* link, Link::Side side);
+  void DetachLink();
+  Link* link() const { return link_; }
+  Link::Side side() const { return side_; }
+  bool attached() const { return link_ != nullptr; }
+  PortNum port_num() const { return port_num_; }
+
+  // --- control-processor interface ---
+  PortStatus ReadAndClearStatus();
+  // While a port is classified s.dead, Autopilot forces it to send idhy in
+  // place of normal flow control (section 6.5.3).
+  void SetForceIdhy(bool force);
+  bool force_idhy() const { return force_idhy_; }
+  // Sends a momentary panic directive to reset the remote link unit.
+  void SendPanicPulse();
+
+  // --- Port (output side, driven by the forwarder) ---
+  bool CanTransmitNow() const override;
+  void SendBegin(const PacketRef& packet) override;
+  void SendByte(const PacketRef& packet, std::uint32_t offset) override;
+  void SendEnd(EndFlags flags) override;
+  void RecordUnderflow() override { ++status_.underflow; }
+
+  // --- LinkEndpoint (receive path) ---
+  void OnPacketBegin(const PacketRef& packet) override;
+  void OnDataByte(const PacketRef& packet, std::uint32_t offset,
+                  bool corrupt) override;
+  void OnPacketEnd(EndFlags flags) override;
+  void OnFlowDirective(FlowDirective directive) override;
+  void OnCarrierChange(bool carrier_up) override;
+  void OnCodeViolation() override { ++status_.bad_code; }
+
+  // Recomputes and latches the outgoing flow directive (start/stop/idhy).
+  // Called after FIFO occupancy changes and mode changes.
+  void UpdateOutgoingFlow();
+
+  // Hard reset of the receive side (panic handling): clears the FIFO and
+  // abandons any packet being forwarded from it.
+  void ResetReceiveSide();
+
+  void NoteBytesForwarded(std::uint64_t n) { status_.bytes_forwarded += n; }
+
+ private:
+  Switch* owner_;
+  PortNum port_num_;
+  Link* link_ = nullptr;
+  Link::Side side_ = Link::Side::kA;
+
+  bool force_idhy_ = false;
+  bool tx_in_packet_ = false;
+  FlowDirective last_rx_directive_ = FlowDirective::kStart;  // power-up latch
+  PortStatus status_;
+  Tick last_status_read_ = 0;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_FABRIC_LINK_UNIT_H_

@@ -1,0 +1,224 @@
+#include "src/fabric/switch.h"
+
+#include <cassert>
+#include <utility>
+
+namespace autonet {
+
+Switch::Switch(Simulator* sim, Uid uid, std::string name, Config config)
+    : sim_(sim),
+      uid_(uid),
+      name_(std::move(name)),
+      config_(config),
+      log_(name_),
+      sched_(sim, SchedulerEngine::Config{config.router_cycle_ns,
+                                          config.fcfs_scheduler}) {
+  auto cp = std::make_unique<CpPort>(this, config_.cp_fifo_capacity);
+  cp_port_ = cp.get();
+  ports_[kCpPort] = std::move(cp);
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    ports_[p] = std::make_unique<LinkUnit>(this, p, config_.fifo_capacity);
+  }
+  sched_.SetHooks([this] { return FreeOutputPorts(); },
+                  [this](const SchedulerEngine::Request& request,
+                         PortVector ports) { Grant(request, ports); });
+}
+
+Switch::Switch(Simulator* sim, Uid uid, std::string name)
+    : Switch(sim, uid, std::move(name), Config()) {}
+
+Switch::~Switch() {
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    static_cast<LinkUnit*>(ports_[p].get())->DetachLink();
+  }
+}
+
+LinkUnit& Switch::link_unit(PortNum port) {
+  assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
+  return *static_cast<LinkUnit*>(ports_[port].get());
+}
+
+const LinkUnit& Switch::link_unit(PortNum port) const {
+  assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
+  return *static_cast<const LinkUnit*>(ports_[port].get());
+}
+
+void Switch::AttachLink(PortNum port, Link* link, Link::Side side) {
+  link_unit(port).AttachLink(link, side);
+}
+
+void Switch::DetachLink(PortNum port) { link_unit(port).DetachLink(); }
+
+void Switch::SetCpHandler(CpPort::DeliveryHandler handler) {
+  cp_port_->SetDeliveryHandler(std::move(handler));
+}
+
+void Switch::CpSend(const PacketRef& packet) { cp_port_->InjectPacket(packet); }
+
+PortStatus Switch::ReadAndClearStatus(PortNum port) {
+  return link_unit(port).ReadAndClearStatus();
+}
+
+void Switch::SetPortForceIdhy(PortNum port, bool force) {
+  link_unit(port).SetForceIdhy(force);
+}
+
+void Switch::SendPanic(PortNum port) { link_unit(port).SendPanicPulse(); }
+
+void Switch::LoadForwardingTable(const ForwardingTable& table) {
+  table_ = table;
+  ++stats_.table_loads;
+  if (!config_.reset_on_table_load) {
+    return;
+  }
+  // Loading the table resets the switch, destroying every packet in it
+  // (section 7): abort all crossbar connections, flush all FIFOs, drop all
+  // pending requests and staged control-processor packets.
+  ++stats_.resets;
+  sched_.Clear();
+  for (PortNum p = 0; p < kPortsPerSwitch; ++p) {
+    if (capture_event_[p].valid()) {
+      sim_->Cancel(capture_event_[p]);
+      capture_event_[p] = {};
+    }
+    if (forwarders_[p] != nullptr) {
+      forwarders_[p]->Abort();
+      forwarders_[p]->outports().ForEach(
+          [&](PortNum out) { ports_[out]->set_tx_busy(false); });
+      forwarders_[p].reset();
+    }
+    in_state_[p] = InState::kIdle;
+  }
+  cp_port_->Reset();
+  for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+    ports_[p]->fifo().Clear();
+    link_unit(p).UpdateOutgoingFlow();
+  }
+  sched_.Kick();
+}
+
+PortVector Switch::FreeOutputPorts() const {
+  PortVector free;
+  for (PortNum p = 0; p < kPortsPerSwitch; ++p) {
+    if (!ports_[p]->tx_busy()) {
+      free.Set(p);
+    }
+  }
+  return free;
+}
+
+void Switch::OnFifoActivity(PortNum p) {
+  switch (in_state_[p]) {
+    case InState::kIdle:
+      MaybeCapture(p);
+      break;
+    case InState::kForwarding:
+      forwarders_[p]->OnFifoActivity();
+      break;
+    case InState::kCapturePending:
+    case InState::kRequested:
+      break;
+  }
+}
+
+void Switch::OnXmitOkChange(PortNum p) {
+  for (auto& fwd : forwarders_) {
+    if (fwd != nullptr && fwd->outports().Test(p)) {
+      fwd->OnThrottleChange();
+    }
+  }
+}
+
+void Switch::CancelInputActivity(PortNum p) {
+  if (capture_event_[p].valid()) {
+    sim_->Cancel(capture_event_[p]);
+    capture_event_[p] = {};
+  }
+  sched_.Remove(p);
+  if (forwarders_[p] != nullptr) {
+    forwarders_[p]->Abort();
+    forwarders_[p]->outports().ForEach(
+        [&](PortNum out) { ports_[out]->set_tx_busy(false); });
+    forwarders_[p].reset();
+    sched_.Kick();
+  }
+  in_state_[p] = InState::kIdle;
+}
+
+void Switch::OnPortReceiveReset(PortNum p) {
+  CancelInputActivity(p);
+  MaybeCapture(p);
+}
+
+void Switch::AfterFifoPop(PortNum p) {
+  if (p == kCpPort) {
+    cp_port_->PumpPending();
+  } else {
+    LinkUnit& unit = link_unit(p);
+    unit.NoteBytesForwarded(1);  // ProgressSeen evidence for the sampler
+    unit.UpdateOutgoingFlow();
+  }
+}
+
+void Switch::MaybeCapture(PortNum p) {
+  if (in_state_[p] != InState::kIdle || !ports_[p]->fifo().HeadCaptureReady()) {
+    return;
+  }
+  in_state_[p] = InState::kCapturePending;
+  capture_event_[p] = sim_->ScheduleAfter(config_.capture_delay_ns, [this, p] {
+    capture_event_[p] = {};
+    DoCapture(p);
+  });
+}
+
+void Switch::DoCapture(PortNum p) {
+  assert(in_state_[p] == InState::kCapturePending);
+  PortFifo& fifo = ports_[p]->fifo();
+  if (!fifo.HasHead()) {
+    in_state_[p] = InState::kIdle;
+    return;
+  }
+  ForwardingTable::Entry entry = table_.Lookup(p, fifo.head().capture_addr);
+  if (entry.IsDiscard()) {
+    // Drain and discard the packet.
+    StartForwarder(p, PortVector(), false);
+    return;
+  }
+  in_state_[p] = InState::kRequested;
+  sched_.Enqueue(p, entry.ports, entry.broadcast);
+}
+
+void Switch::Grant(const SchedulerEngine::Request& request, PortVector ports) {
+  assert(in_state_[request.inport] == InState::kRequested);
+  StartForwarder(request.inport, ports, request.broadcast);
+}
+
+void Switch::StartForwarder(PortNum inport, PortVector outports,
+                            bool broadcast) {
+  in_state_[inport] = InState::kForwarding;
+  outports.ForEach([&](PortNum p) { ports_[p]->set_tx_busy(true); });
+  forwarders_[inport] =
+      std::make_unique<Forwarder>(this, inport, outports, broadcast);
+  forwarders_[inport]->Start();
+}
+
+void Switch::OnForwarderDone(PortNum inport, bool discarded,
+                             std::size_t bytes_moved) {
+  std::unique_ptr<Forwarder> done = std::move(forwarders_[inport]);
+  done->outports().ForEach(
+      [&](PortNum out) { ports_[out]->set_tx_busy(false); });
+  in_state_[inport] = InState::kIdle;
+  if (discarded) {
+    ++stats_.packets_discarded;
+  } else {
+    ++stats_.packets_forwarded;
+    stats_.bytes_forwarded += bytes_moved;
+  }
+  // Keep `done` alive until we return out of its call frame.
+  sched_.Kick();
+  PortNum p = inport;
+  sim_->ScheduleAfter(0, [this, p, keep = std::shared_ptr<Forwarder>(
+                                       done.release())] { MaybeCapture(p); });
+}
+
+}  // namespace autonet

@@ -1,0 +1,136 @@
+// An Autonet switch (section 5.1): 12 external link units and the control-
+// processor port joined by a 13x13 crossbar, a forwarding table indexed by
+// (receiving port, destination short address), and the first-come, first-
+// considered scheduling engine.  The control program (Autopilot) drives the
+// switch exclusively through the control-processor interface: packet
+// send/receive on port 0, status-bit reads, idhy forcing, and forwarding
+// table loads.
+#ifndef SRC_FABRIC_SWITCH_H_
+#define SRC_FABRIC_SWITCH_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/common/event_log.h"
+#include "src/common/ids.h"
+#include "src/common/packet.h"
+#include "src/fabric/cp_port.h"
+#include "src/fabric/forwarder.h"
+#include "src/fabric/forwarding_table.h"
+#include "src/fabric/link_unit.h"
+#include "src/fabric/scheduler.h"
+#include "src/sim/simulator.h"
+
+namespace autonet {
+
+class Switch {
+ public:
+  struct Config {
+    std::size_t fifo_capacity = 4096;       // bytes per receive FIFO
+    std::size_t cp_fifo_capacity = 1 << 20; // control-processor memory
+    // Receive pipeline + address capture time, from the second address byte
+    // reaching the FIFO head to the routing request.  Calibrated so the
+    // idle cut-through transit lands in the paper's 26..32 cycle window.
+    Tick capture_delay_ns = 1360;
+    Tick router_cycle_ns = kRouterCycleNs;
+    bool fcfs_scheduler = false;            // E9 baseline
+    bool broadcast_ignores_stop = true;     // section 6.6.6 deadlock fix
+    // The prototype's hardware requires a reset (destroying all packets in
+    // the switch) to load the forwarding table — the section 7 lesson.
+    // Clearing this models the proposed improved hardware.
+    bool reset_on_table_load = true;
+  };
+
+  struct Stats {
+    std::uint64_t packets_forwarded = 0;
+    std::uint64_t packets_discarded = 0;
+    std::uint64_t bytes_forwarded = 0;
+    std::uint64_t table_loads = 0;
+    std::uint64_t resets = 0;
+  };
+
+  Switch(Simulator* sim, Uid uid, std::string name, Config config);
+  Switch(Simulator* sim, Uid uid, std::string name);
+  ~Switch();
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  Simulator* sim() { return sim_; }
+  Tick now() const { return sim_->now(); }
+  Uid uid() const { return uid_; }
+  const std::string& name() const { return name_; }
+  const Config& config() const { return config_; }
+
+  // --- cabling ---
+  void AttachLink(PortNum port, Link* link, Link::Side side);
+  void DetachLink(PortNum port);
+  LinkUnit& link_unit(PortNum port);
+  const LinkUnit& link_unit(PortNum port) const;
+  CpPort& cp_port() { return *cp_port_; }
+
+  // --- control-processor interface ---
+  void SetCpHandler(CpPort::DeliveryHandler handler);
+  void CpSend(const PacketRef& packet);
+  PortStatus ReadAndClearStatus(PortNum port);
+  void SetPortForceIdhy(PortNum port, bool force);
+  void SendPanic(PortNum port);
+  // Loads a new forwarding table.  With reset_on_table_load this resets the
+  // switch: every packet in transit through it is destroyed.
+  void LoadForwardingTable(const ForwardingTable& table);
+  const ForwardingTable& forwarding_table() const { return table_; }
+
+  const Stats& stats() const { return stats_; }
+  EventLog& log() { return log_; }
+  SchedulerEngine& scheduler() { return sched_; }
+
+  // --- internal plumbing, called by ports and forwarders ---
+  Port& port(PortNum p) { return *ports_[p]; }
+  void OnFifoActivity(PortNum p);
+  void OnXmitOkChange(PortNum p);
+  void OnPortReceiveReset(PortNum p);
+  void AfterFifoPop(PortNum p);
+  PortVector FreeOutputPorts() const;
+  void NoteCpArrivalPort(PortNum p) { cp_port_->NoteArrivalPort(p); }
+  // The forwarder for `inport` completed (sent its end mark or drained a
+  // discarded packet).  The switch frees the output ports and destroys it.
+  void OnForwarderDone(PortNum inport, bool discarded,
+                       std::size_t bytes_moved);
+
+ private:
+  enum class InState : std::uint8_t {
+    kIdle,            // no packet captured at this receive FIFO's head
+    kCapturePending,  // address capture delay running
+    kRequested,       // forwarding request queued in the scheduling engine
+    kForwarding,      // crossbar connection active
+  };
+
+  void MaybeCapture(PortNum p);
+  void DoCapture(PortNum p);
+  void Grant(const SchedulerEngine::Request& request, PortVector ports);
+  void StartForwarder(PortNum inport, PortVector outports, bool broadcast);
+  void CancelInputActivity(PortNum p);
+
+  Simulator* sim_;
+  Uid uid_;
+  std::string name_;
+  Config config_;
+  EventLog log_;
+
+  std::array<std::unique_ptr<Port>, kPortsPerSwitch> ports_;
+  CpPort* cp_port_ = nullptr;  // alias of ports_[0]
+  ForwardingTable table_;
+  SchedulerEngine sched_;
+
+  std::array<InState, kPortsPerSwitch> in_state_{};
+  std::array<Simulator::EventId, kPortsPerSwitch> capture_event_{};
+  std::array<std::unique_ptr<Forwarder>, kPortsPerSwitch> forwarders_;
+
+  Stats stats_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_FABRIC_SWITCH_H_

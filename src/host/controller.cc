@@ -1,0 +1,258 @@
+#include "src/host/controller.h"
+
+#include "src/link/slots.h"
+
+namespace autonet {
+
+HostController::HostController(Simulator* sim, Uid uid, std::string name,
+                               Config config)
+    : sim_(sim),
+      uid_(uid),
+      name_(std::move(name)),
+      config_(config),
+      log_(name_) {
+  ports_[0].Init(this, 0);
+  ports_[1].Init(this, 1);
+}
+
+HostController::HostController(Simulator* sim, Uid uid, std::string name)
+    : HostController(sim, uid, std::move(name), Config()) {}
+
+HostController::~HostController() {
+  DetachPort(0);
+  DetachPort(1);
+}
+
+void HostController::AttachPort(int which, Link* link, Link::Side side) {
+  NetPort& port = ports_[which];
+  port.link = link;
+  port.side = side;
+  link->Attach(side, &port);
+  port.carrier = link->CarrierAt(side);
+  UpdatePortDirectives();
+}
+
+void HostController::DetachPort(int which) {
+  NetPort& port = ports_[which];
+  if (port.link != nullptr) {
+    port.link->Detach(port.side);
+    port.link = nullptr;
+  }
+}
+
+void HostController::SelectPort(int which) {
+  if (active_ == which) {
+    return;
+  }
+  active_ = which;
+  // Abandon any packet mid-transmission on the old port: it arrives
+  // truncated and the destination discards it.
+  if (tx_begun_) {
+    NetPort& old_port = ports_[1 - which];
+    if (old_port.link != nullptr) {
+      old_port.link->TransmitEnd(old_port.side,
+                                 EndFlags{.truncated = true, .corrupted = true});
+    }
+    tx_begun_ = false;
+    tx_offset_ = 0;
+  }
+  UpdatePortDirectives();
+  SchedulePump();
+}
+
+void HostController::UpdatePortDirectives() {
+  for (int i = 0; i < 2; ++i) {
+    NetPort& port = ports_[i];
+    if (port.link == nullptr) {
+      continue;
+    }
+    FlowDirective d;
+    if (i == active_) {
+      d = FlowDirective::kHost;  // hosts send host in place of start
+    } else {
+      d = config_.host_directive_on_alternate ? FlowDirective::kHost
+                                              : FlowDirective::kNone;
+    }
+    port.link->SetFlowDirective(port.side, d);
+  }
+}
+
+bool HostController::Send(const PacketRef& packet) {
+  std::size_t size = packet->WireSize();
+  if (tx_queued_bytes_ + size > config_.tx_buffer_bytes) {
+    ++stats_.tx_rejected_full;
+    return false;
+  }
+  tx_queue_.push_back(packet);
+  tx_queued_bytes_ += size;
+  SchedulePump();
+  return true;
+}
+
+bool HostController::CanTransmitNow() const {
+  const NetPort& port = ports_[active_];
+  if (port.link == nullptr) {
+    return false;
+  }
+  // Broadcast transmissions ignore stop once begun (section 6.6.6).
+  if (tx_begun_ && !tx_queue_.empty() && tx_queue_.front()->dest.IsBroadcast()) {
+    return true;
+  }
+  return DirectiveAllowsTransmit(port.last_rx_directive);
+}
+
+void HostController::SchedulePump() {
+  if (pump_event_.valid() || tx_queue_.empty()) {
+    return;
+  }
+  pump_event_ = sim_->ScheduleAt(NextDataSlotAfter(sim_->now()), [this] {
+    pump_event_ = {};
+    Pump();
+  });
+}
+
+void HostController::OnThrottleChange() {
+  if (!tx_queue_.empty() && CanTransmitNow()) {
+    SchedulePump();
+  }
+}
+
+void HostController::Pump() {
+  if (tx_queue_.empty()) {
+    return;
+  }
+  if (!CanTransmitNow()) {
+    return;  // resume on flow-directive change
+  }
+  NetPort& port = ports_[active_];
+  const PacketRef& packet = tx_queue_.front();
+  if (!tx_begun_) {
+    port.link->TransmitBegin(port.side, packet);
+    tx_begun_ = true;
+    tx_offset_ = 0;
+    SchedulePump();
+    return;
+  }
+  if (tx_offset_ < packet->WireSize()) {
+    port.link->TransmitByte(port.side, packet, tx_offset_++);
+    SchedulePump();
+    return;
+  }
+  port.link->TransmitEnd(port.side, EndFlags{});
+  ++stats_.packets_sent;
+  tx_queued_bytes_ -= packet->WireSize();
+  tx_queue_.pop_front();
+  tx_begun_ = false;
+  tx_offset_ = 0;
+  SchedulePump();
+}
+
+bool HostController::link_error_on_active() const {
+  const NetPort& port = ports_[active_];
+  return port.link == nullptr || !port.carrier;
+}
+
+// --- receive path ---
+
+void HostController::NetPort::OnPacketBegin(const PacketRef& packet) {
+  rx_packet = packet;
+  rx_bytes = 0;
+  rx_corrupted = false;
+}
+
+void HostController::NetPort::OnDataByte(const PacketRef& packet,
+                                         std::uint32_t offset, bool corrupt) {
+  (void)packet;
+  (void)offset;
+  if (corrupt) {
+    rx_corrupted = true;
+  }
+  ++rx_bytes;
+}
+
+void HostController::NetPort::OnPacketEnd(EndFlags flags) {
+  if (index_ != owner_->active_) {
+    // The alternate port's receiver is ignored by the host.
+    rx_packet = nullptr;
+    return;
+  }
+  owner_->FinishReceive(*this, flags);
+}
+
+void HostController::NetPort::OnFlowDirective(FlowDirective directive) {
+  last_rx_directive = directive;
+  if (index_ == owner_->active_) {
+    owner_->OnThrottleChange();
+  }
+}
+
+void HostController::NetPort::OnCarrierChange(bool carrier_up) {
+  carrier = carrier_up;
+  if (!carrier_up) {
+    rx_packet = nullptr;
+  }
+}
+
+void HostController::FinishReceive(NetPort& port, EndFlags flags) {
+  if (port.rx_packet == nullptr) {
+    return;
+  }
+  Delivery delivery;
+  delivery.packet = port.rx_packet;
+  delivery.corrupted = flags.corrupted || port.rx_corrupted;
+  delivery.truncated =
+      flags.truncated || port.rx_bytes != port.rx_packet->WireSize();
+  delivery.arrival_port = &port == &ports_[0] ? 0 : 1;
+  delivery.delivered_at = sim_->now();
+  port.rx_packet = nullptr;
+
+  if (delivery.corrupted) {
+    ++stats_.rx_crc_errors;
+  }
+  if (delivery.truncated) {
+    ++stats_.rx_truncated;
+  }
+
+  std::size_t size = delivery.packet->WireSize();
+  if (rx_queued_bytes_ + size > config_.rx_buffer_bytes) {
+    ++stats_.rx_discarded_full;  // slow host: discard, never stop the net
+    return;
+  }
+  rx_queue_.push_back(std::move(delivery));
+  rx_queued_bytes_ += size;
+  DrainRxQueue();
+}
+
+void HostController::DrainRxQueue() {
+  if (rx_draining_ || rx_queue_.empty()) {
+    return;
+  }
+  Delivery delivery = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+  rx_queued_bytes_ -= delivery.packet->WireSize();
+
+  Tick cost = config_.rx_process_ns_per_packet +
+              config_.rx_process_ns_per_byte *
+                  static_cast<Tick>(delivery.packet->WireSize());
+  if (cost == 0) {
+    ++stats_.packets_received;
+    if (handler_) {
+      handler_(std::move(delivery));
+    }
+    if (!rx_queue_.empty()) {
+      DrainRxQueue();
+    }
+    return;
+  }
+  rx_draining_ = true;
+  sim_->ScheduleAfter(cost, [this, d = std::move(delivery)]() mutable {
+    rx_draining_ = false;
+    ++stats_.packets_received;
+    if (handler_) {
+      handler_(std::move(d));
+    }
+    DrainRxQueue();
+  });
+}
+
+}  // namespace autonet

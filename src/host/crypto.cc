@@ -1,0 +1,27 @@
+#include "src/host/crypto.h"
+
+namespace autonet {
+
+namespace {
+std::uint64_t SplitMix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+void PacketCipher::Apply(std::uint64_t key, std::uint64_t nonce,
+                         std::vector<std::uint8_t>* data) {
+  std::uint64_t state = key ^ (nonce * 0xD1B54A32D192ED03ull);
+  std::uint64_t block = 0;
+  for (std::size_t i = 0; i < data->size(); ++i) {
+    if (i % 8 == 0) {
+      block = SplitMix64(state);
+    }
+    (*data)[i] ^= static_cast<std::uint8_t>(block >> ((i % 8) * 8));
+  }
+}
+
+}  // namespace autonet

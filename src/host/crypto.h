@@ -1,0 +1,52 @@
+// Host-controller packet encryption (section 3.10): "we have put a
+// pipelined encryption chip in the host controller.  This chip can encrypt
+// and decrypt packets as they are sent or received with no increase in
+// latency."  The packet header carries 26 bytes of encryption information,
+// of which we model the key identifier; the key scheme follows the spirit
+// of Herbison's master-key design (section 6.8): hosts hold a table of
+// keys indexed by key id.
+//
+// The cipher is a keyed keystream XOR (splitmix64 over key ⊕ packet id) —
+// a stand-in for the AMD 8068 DES pipeline with the properties the
+// simulation needs: deterministic, self-inverse with the right key, and
+// garbage with the wrong one.  It runs at "wire speed" (zero simulated
+// cost), matching the no-penalty claim.
+#ifndef SRC_HOST_CRYPTO_H_
+#define SRC_HOST_CRYPTO_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace autonet {
+
+class PacketCipher {
+ public:
+  // Applies the keystream in place; encryption and decryption are the same
+  // operation.  `nonce` must match between the two ends (we use the
+  // packet's wire-visible id field).
+  static void Apply(std::uint64_t key, std::uint64_t nonce,
+                    std::vector<std::uint8_t>* data);
+};
+
+// Per-host key table, indexed by the key id carried in the packet header's
+// encryption information.
+class KeyTable {
+ public:
+  void Install(std::uint32_t key_id, std::uint64_t key) {
+    keys_[key_id] = key;
+  }
+  void Remove(std::uint32_t key_id) { keys_.erase(key_id); }
+  bool Has(std::uint32_t key_id) const { return keys_.count(key_id) > 0; }
+  std::uint64_t Get(std::uint32_t key_id) const {
+    auto it = keys_.find(key_id);
+    return it == keys_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> keys_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_HOST_CRYPTO_H_

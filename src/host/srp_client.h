@@ -1,0 +1,77 @@
+// A host-side client for SRP, the source-routed debugging and monitoring
+// protocol (section 6.7).  SRP packets are forwarded hop by hop by switch
+// control processors using only the constant one-hop part of forwarding
+// tables, so they keep working during reconfiguration — "a powerful tool
+// for discovering functional and performance anomalies".
+//
+// The client issues a request along an explicit route of outbound switch
+// ports and synchronously runs the simulation until the reply returns (or
+// the deadline passes).  Higher-level helpers fetch a remote switch's
+// state, its topology view, or its event-log tail, and CrawlTopology walks
+// the whole fabric from the local switch outward.
+#ifndef SRC_HOST_SRP_CLIENT_H_
+#define SRC_HOST_SRP_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/autopilot/messages.h"
+#include "src/host/driver.h"
+#include "src/sim/simulator.h"
+
+namespace autonet {
+
+class SrpClient {
+ public:
+  // Takes over the driver's receive handler for kSrp packets; other client
+  // packets continue to the handler installed afterwards (the client
+  // chains to any existing handler).
+  explicit SrpClient(AutonetDriver* driver);
+
+  struct SwitchState {
+    std::uint64_t epoch = 0;
+    SwitchNum switch_num = 0;
+    Uid uid;
+    bool reconfig_in_progress = false;
+    std::vector<std::uint8_t> port_states;  // PortState per port 1..12
+  };
+
+  // `route` lists the outbound port to take at each switch, starting from
+  // the host's local switch; an empty route addresses the local switch.
+  // Each call runs the simulation until the reply arrives.
+  std::optional<SrpMsg> Query(SrpMsg::Op op,
+                              const std::vector<std::uint8_t>& route,
+                              Tick timeout = 5 * kSecond);
+
+  std::optional<SwitchState> GetState(const std::vector<std::uint8_t>& route,
+                                      Tick timeout = 5 * kSecond);
+  std::optional<NetTopology> GetTopology(
+      const std::vector<std::uint8_t>& route, Tick timeout = 5 * kSecond);
+  std::optional<std::string> GetLogTail(const std::vector<std::uint8_t>& route,
+                                        Tick timeout = 5 * kSecond);
+  bool Echo(const std::vector<std::uint8_t>& route,
+            Tick timeout = 5 * kSecond);
+
+  struct CrawlEntry {
+    std::vector<std::uint8_t> route;  // from the local switch
+    SwitchState state;
+  };
+  // Fetches the local topology view, then queries every reachable switch's
+  // state along BFS routes.  Returns the entries in BFS order.
+  std::vector<CrawlEntry> CrawlTopology(Tick per_query_timeout = 5 * kSecond);
+
+ private:
+  void OnDelivery(Delivery d);
+
+  AutonetDriver* driver_;
+  Simulator* sim_;
+  std::uint64_t next_id_ = 0;
+  std::map<std::uint64_t, SrpMsg> replies_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_HOST_SRP_CLIENT_H_

@@ -1,0 +1,74 @@
+// The LocalNet UID cache (sections 4.3, 6.8.1): maps 48-bit Ethernet UIDs
+// to Autonet short addresses (learned from the source fields of arriving
+// packets) and, for bridging hosts, records which network each UID lives on
+// (a given UID is on one network or the other, never both).
+#ifndef SRC_HOST_UID_CACHE_H_
+#define SRC_HOST_UID_CACHE_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/common/ids.h"
+#include "src/common/time.h"
+
+namespace autonet {
+
+enum class NetworkId : int {
+  kAutonet = 0,
+  kEthernet = 1,
+};
+
+class UidCache {
+ public:
+  struct Entry {
+    ShortAddress short_address;  // broadcast when unknown
+    NetworkId location = NetworkId::kAutonet;
+    Tick updated_at = 0;
+  };
+
+  // Records the (uid -> short address) correspondence observed in a
+  // received packet's source fields.
+  void Learn(Uid uid, ShortAddress addr, NetworkId location, Tick now) {
+    Entry& e = map_[uid];
+    e.short_address = addr;
+    e.location = location;
+    e.updated_at = now;
+  }
+
+  const Entry* Find(Uid uid) const {
+    auto it = map_.find(uid);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  // Looks up the short address for a destination, creating a
+  // broadcast-valued entry if absent (the transmit algorithm of
+  // section 6.8.1).
+  Entry& FindOrCreate(Uid uid, ShortAddress broadcast_addr, Tick now) {
+    auto [it, inserted] = map_.try_emplace(uid);
+    if (inserted) {
+      it->second.short_address = broadcast_addr;
+      it->second.location = NetworkId::kAutonet;
+      it->second.updated_at = now - kSecond;  // stale from birth
+    }
+    return it->second;
+  }
+
+  // Invalidate: equivalent to removing the entry (address reverts to
+  // broadcast).
+  void Invalidate(Uid uid, ShortAddress broadcast_addr) {
+    auto it = map_.find(uid);
+    if (it != map_.end()) {
+      it->second.short_address = broadcast_addr;
+    }
+  }
+
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  std::unordered_map<Uid, Entry> map_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_HOST_UID_CACHE_H_

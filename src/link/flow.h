@@ -1,0 +1,33 @@
+// Flow-control directives carried in the every-256th-slot flow-control slots
+// of a channel (section 6.1).  `host` is sent by host controllers in place
+// of `start` so a switch can tell whether a link comes from another switch
+// or from a host.  `idhy` ("I don't hear you") forces the neighbor to
+// declare a defective link defective as well.  `panic` resets the remote
+// link unit (the paper notes panic was designed but not implemented; we
+// implement it).
+#ifndef SRC_LINK_FLOW_H_
+#define SRC_LINK_FLOW_H_
+
+#include <cstdint>
+
+namespace autonet {
+
+enum class FlowDirective : std::uint8_t {
+  kNone,   // transmitter is not sending directives (alternate host port)
+  kStart,  // receiver FIFO below half: transmission allowed
+  kStop,   // receiver FIFO above half: stop sending
+  kHost,   // like start, but identifies the sender as a host controller
+  kIdhy,   // "I don't hear you": declare this link defective
+  kPanic,  // reset the remote link unit
+};
+
+const char* FlowDirectiveName(FlowDirective d);
+
+// True if the last-received directive permits transmission on the link.
+constexpr bool DirectiveAllowsTransmit(FlowDirective d) {
+  return d == FlowDirective::kStart || d == FlowDirective::kHost;
+}
+
+}  // namespace autonet
+
+#endif  // SRC_LINK_FLOW_H_

@@ -1,0 +1,243 @@
+#include "src/link/link.h"
+
+#include "src/link/slots.h"
+
+namespace autonet {
+
+const char* FlowDirectiveName(FlowDirective d) {
+  switch (d) {
+    case FlowDirective::kNone:
+      return "none";
+    case FlowDirective::kStart:
+      return "start";
+    case FlowDirective::kStop:
+      return "stop";
+    case FlowDirective::kHost:
+      return "host";
+    case FlowDirective::kIdhy:
+      return "idhy";
+    case FlowDirective::kPanic:
+      return "panic";
+  }
+  return "?";
+}
+
+Link::Link(Simulator* sim, double length_km, std::uint64_t corruption_seed)
+    : sim_(sim),
+      length_km_(length_km),
+      propagation_delay_(PropagationDelayNs(length_km)),
+      corruption_rng_(corruption_seed) {}
+
+void Link::Attach(Side side, LinkEndpoint* endpoint) {
+  endpoints_[static_cast<int>(side)] = endpoint;
+  NotifyCarrier();
+  RedeliverDirectives();
+}
+
+void Link::Detach(Side side) {
+  endpoints_[static_cast<int>(side)] = nullptr;
+  NotifyCarrier();
+}
+
+bool Link::DeliveryTarget(Side from, Side* rx_side, Tick* delay) const {
+  switch (mode_) {
+    case LinkMode::kNormal:
+      *rx_side = Other(from);
+      *delay = propagation_delay_;
+      return true;
+    case LinkMode::kCut:
+      return false;
+    case LinkMode::kReflectA:
+      if (from != Side::kA) {
+        return false;
+      }
+      *rx_side = Side::kA;
+      *delay = 2 * propagation_delay_;
+      return true;
+    case LinkMode::kReflectB:
+      if (from != Side::kB) {
+        return false;
+      }
+      *rx_side = Side::kB;
+      *delay = 2 * propagation_delay_;
+      return true;
+  }
+  return false;
+}
+
+bool Link::CarrierAt(Side rx_side) const {
+  switch (mode_) {
+    case LinkMode::kNormal:
+      return EndpointAt(Other(rx_side)) != nullptr;
+    case LinkMode::kCut:
+      return false;
+    case LinkMode::kReflectA:
+      return rx_side == Side::kA && EndpointAt(Side::kA) != nullptr;
+    case LinkMode::kReflectB:
+      return rx_side == Side::kB && EndpointAt(Side::kB) != nullptr;
+  }
+  return false;
+}
+
+void Link::TransmitBegin(Side from, const PacketRef& packet) {
+  tx_[static_cast<int>(from)].in_packet = true;
+  Side rx;
+  Tick delay;
+  if (!DeliveryTarget(from, &rx, &delay)) {
+    return;
+  }
+  LinkEndpoint* ep = EndpointAt(rx);
+  if (ep == nullptr) {
+    return;
+  }
+  PacketRef copy = packet;
+  sim_->ScheduleAfter(delay, [ep, copy] { ep->OnPacketBegin(copy); });
+}
+
+void Link::TransmitByte(Side from, const PacketRef& packet,
+                        std::uint32_t offset) {
+  Side rx;
+  Tick delay;
+  if (!DeliveryTarget(from, &rx, &delay)) {
+    return;
+  }
+  LinkEndpoint* ep = EndpointAt(rx);
+  if (ep == nullptr) {
+    return;
+  }
+  bool corrupt =
+      corruption_rate_ > 0.0 && corruption_rng_.Bernoulli(corruption_rate_);
+  PacketRef copy = packet;
+  sim_->ScheduleAfter(
+      delay, [ep, copy, offset, corrupt] { ep->OnDataByte(copy, offset, corrupt); });
+}
+
+void Link::TransmitEnd(Side from, EndFlags flags) {
+  tx_[static_cast<int>(from)].in_packet = false;
+  Side rx;
+  Tick delay;
+  if (!DeliveryTarget(from, &rx, &delay)) {
+    return;
+  }
+  LinkEndpoint* ep = EndpointAt(rx);
+  if (ep == nullptr) {
+    return;
+  }
+  sim_->ScheduleAfter(delay, [ep, flags] { ep->OnPacketEnd(flags); });
+}
+
+void Link::SetFlowDirective(Side from, FlowDirective directive) {
+  TxState& tx = tx_[static_cast<int>(from)];
+  if (tx.directive == directive) {
+    return;
+  }
+  tx.directive = directive;
+  tx.directive_since = sim_->now();
+  if (directive == FlowDirective::kNone) {
+    // Absence of directives generates no event; the receiving side keeps
+    // acting on the last directive it received (the design oversight noted
+    // in section 6.2) and the status sampler observes the missing slots via
+    // MissedDirectiveSlots().
+    return;
+  }
+  Side rx;
+  Tick delay;
+  if (!DeliveryTarget(from, &rx, &delay)) {
+    return;
+  }
+  LinkEndpoint* ep = EndpointAt(rx);
+  if (ep == nullptr) {
+    return;
+  }
+  // The change is transmitted in the next flow-control slot.
+  Tick when = NextFlowSlotAt(sim_->now()) + delay;
+  sim_->ScheduleAt(when, [ep, directive] { ep->OnFlowDirective(directive); });
+}
+
+void Link::SetMode(LinkMode mode) {
+  if (mode_ == mode) {
+    return;
+  }
+  mode_ = mode;
+  NotifyCarrier();
+  RedeliverDirectives();
+  // Any physical transition glitches the receivers that still hear a
+  // carrier (e.g. a cable coming unterminated and starting to reflect).
+  for (Side side : {Side::kA, Side::kB}) {
+    if (CarrierAt(side)) {
+      if (LinkEndpoint* ep = EndpointAt(side)) {
+        ep->OnCodeViolation();
+      }
+    }
+  }
+}
+
+// Directives are transmitted continuously in the real hardware, so a mode
+// change or endpoint attachment makes the (unchanged) latched directive of
+// the now-audible transmitter reach the receiver within one flow-slot
+// period.
+void Link::RedeliverDirectives() {
+  for (Side from : {Side::kA, Side::kB}) {
+    const TxState& tx = tx_[static_cast<int>(from)];
+    if (tx.directive == FlowDirective::kNone) {
+      continue;
+    }
+    Side rx;
+    Tick delay;
+    if (!DeliveryTarget(from, &rx, &delay)) {
+      continue;
+    }
+    LinkEndpoint* ep = EndpointAt(rx);
+    if (ep == nullptr) {
+      continue;
+    }
+    FlowDirective d = tx.directive;
+    Tick when = NextFlowSlotAt(sim_->now()) + delay;
+    sim_->ScheduleAt(when, [ep, d] { ep->OnFlowDirective(d); });
+  }
+}
+
+void Link::NotifyCarrier() {
+  for (Side side : {Side::kA, Side::kB}) {
+    bool carrier = CarrierAt(side);
+    bool& last = last_carrier_[static_cast<int>(side)];
+    if (carrier != last) {
+      last = carrier;
+      if (LinkEndpoint* ep = EndpointAt(side)) {
+        ep->OnCarrierChange(carrier);
+      }
+    }
+  }
+}
+
+std::int64_t Link::MissedDirectiveSlots(Side rx_side, Tick since) const {
+  // Who is the effective transmitter heard by rx_side?
+  Side tx_side;
+  switch (mode_) {
+    case LinkMode::kNormal:
+      tx_side = Other(rx_side);
+      break;
+    case LinkMode::kReflectA:
+    case LinkMode::kReflectB:
+      tx_side = rx_side;
+      break;
+    case LinkMode::kCut:
+      return 0;  // silence, not sync: shows up as BadCode instead
+  }
+  if (!CarrierAt(rx_side)) {
+    return 0;
+  }
+  const TxState& tx = tx_[static_cast<int>(tx_side)];
+  if (tx.directive != FlowDirective::kNone) {
+    return 0;
+  }
+  Tick from = since > tx.directive_since ? since : tx.directive_since;
+  Tick period = kFlowSlotPeriod * kSlotNs;
+  Tick now = sim_->now();
+  if (now <= from) {
+    return 0;
+  }
+  return now / period - from / period;
+}
+
+}  // namespace autonet

@@ -1,0 +1,147 @@
+// Full-duplex point-to-point link model (sections 3.1, 5.3, 6.1).
+//
+// A Link owns two unidirectional channels between endpoints A and B.  Each
+// channel carries a stream of 80 ns symbol slots; data symbols are delivered
+// to the remote endpoint after the propagation delay, and flow-control
+// directive *changes* are delivered quantized to the next flow-control slot
+// (every 256th slot) plus the propagation delay.  Idle channels generate no
+// events: "how many directive slots were missed" style questions are
+// answered arithmetically from state-change timestamps.
+//
+// Fault modes reproduce the physical behaviours the paper describes:
+//   kCut         no symbols arrive in either direction (unplugged cable)
+//   kReflectA/B  the coax hybrid reflects the named side's own transmissions
+//                back to it (unterminated cable or unpowered remote port,
+//                section 5.3); the other side hears silence
+// plus a per-byte corruption probability modelling a marginal link.
+#ifndef SRC_LINK_LINK_H_
+#define SRC_LINK_LINK_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "src/common/packet.h"
+#include "src/common/time.h"
+#include "src/link/flow.h"
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+
+namespace autonet {
+
+// Integrity flags accompanying a packet's end command.  `truncated` means
+// the packet lost its tail (the upstream switch was reset mid-forward, or
+// the cable was cut); `corrupted` means some earlier byte was damaged, so
+// the packet's CRC will not verify.
+struct EndFlags {
+  bool truncated = false;
+  bool corrupted = false;
+};
+
+// Receive-path callbacks.  Implemented by switch link units and host
+// controller ports.  Callbacks run at symbol *arrival* time.
+class LinkEndpoint {
+ public:
+  virtual ~LinkEndpoint() = default;
+
+  virtual void OnPacketBegin(const PacketRef& packet) = 0;
+  // One data byte of the current packet.  `corrupt` models a transmission
+  // error in this byte (will surface as a CRC failure / BadCode).
+  virtual void OnDataByte(const PacketRef& packet, std::uint32_t offset,
+                          bool corrupt) = 0;
+  virtual void OnPacketEnd(EndFlags flags) = 0;
+  virtual void OnFlowDirective(FlowDirective directive) = 0;
+  // The link was cut or restored under us (also fired on mode changes that
+  // silence our receive channel).
+  virtual void OnCarrierChange(bool carrier_up) = 0;
+  // A code violation at the receiver: physical-layer glitches such as the
+  // terminated->unterminated transition of a coax link (section 7: the
+  // transition "almost always causes enough BadCode status ... to classify
+  // the link broken").  Default: ignored.
+  virtual void OnCodeViolation() {}
+};
+
+enum class LinkMode : std::uint8_t {
+  kNormal,
+  kCut,
+  kReflectA,  // side A hears its own transmissions; side B hears silence
+  kReflectB,  // side B hears its own transmissions; side A hears silence
+};
+
+class Link {
+ public:
+  enum class Side : int { kA = 0, kB = 1 };
+  static constexpr Side Other(Side s) {
+    return s == Side::kA ? Side::kB : Side::kA;
+  }
+
+  Link(Simulator* sim, double length_km, std::uint64_t corruption_seed = 1);
+
+  void Attach(Side side, LinkEndpoint* endpoint);
+  void Detach(Side side);
+
+  // --- transmit path (called by the owning endpoint of `from`) ---
+  void TransmitBegin(Side from, const PacketRef& packet);
+  void TransmitByte(Side from, const PacketRef& packet, std::uint32_t offset);
+  void TransmitEnd(Side from, EndFlags flags);
+
+  // Latches the directive this side sends in flow-control slots.  kNone
+  // means "send only sync in flow slots" (alternate host port behaviour).
+  // The remote side observes the change at the next flow slot plus the
+  // propagation delay.
+  void SetFlowDirective(Side from, FlowDirective directive);
+  FlowDirective flow_directive(Side from) const {
+    return tx_[static_cast<int>(from)].directive;
+  }
+
+  // --- fault injection ---
+  void SetMode(LinkMode mode);
+  LinkMode mode() const { return mode_; }
+  // Probability that any individual transmitted byte is damaged.
+  void SetCorruptionRate(double per_byte_probability) {
+    corruption_rate_ = per_byte_probability;
+  }
+
+  // --- state queries ---
+  // Whether the named side currently receives a carrier.
+  bool CarrierAt(Side rx_side) const;
+  // Number of flow-control slots since `since` in which the named receiving
+  // side saw sync instead of a directive while carrier was present.  Used by
+  // the status sampler to derive BadSyntax counts for alternate host ports.
+  std::int64_t MissedDirectiveSlots(Side rx_side, Tick since) const;
+
+  double length_km() const { return length_km_; }
+  Tick propagation_delay() const { return propagation_delay_; }
+
+  Simulator* sim() { return sim_; }
+
+ private:
+  struct TxState {
+    FlowDirective directive = FlowDirective::kNone;
+    Tick directive_since = 0;
+    bool in_packet = false;
+  };
+
+  // Where do symbols transmitted from `from` end up?  Returns the receiving
+  // side, or nullopt if they are lost.
+  bool DeliveryTarget(Side from, Side* rx_side, Tick* delay) const;
+  LinkEndpoint* EndpointAt(Side side) const {
+    return endpoints_[static_cast<int>(side)];
+  }
+  void NotifyCarrier();
+  void RedeliverDirectives();
+
+  Simulator* sim_;
+  double length_km_;
+  Tick propagation_delay_;
+  LinkMode mode_ = LinkMode::kNormal;
+  double corruption_rate_ = 0.0;
+  Rng corruption_rng_;
+  std::array<LinkEndpoint*, 2> endpoints_{};
+  std::array<TxState, 2> tx_{};
+  std::array<bool, 2> last_carrier_{false, false};
+};
+
+}  // namespace autonet
+
+#endif  // SRC_LINK_LINK_H_

@@ -1,0 +1,110 @@
+#include "src/routing/spanning_tree.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace autonet {
+
+SpanningTree ComputeSpanningTree(const NetTopology& topology) {
+  const int n = topology.size();
+  SpanningTree tree;
+  tree.parent.assign(n, -1);
+  tree.parent_port.assign(n, -1);
+  tree.level.assign(n, std::numeric_limits<int>::max());
+  if (n == 0) {
+    return tree;
+  }
+  tree.root = topology.RootIndex();
+  tree.level[tree.root] = 0;
+
+  // BFS for levels.
+  std::deque<int> queue{tree.root};
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (const TopoLink& link : topology.switches[node].links) {
+      if (tree.level[link.remote_switch] > tree.level[node] + 1) {
+        tree.level[link.remote_switch] = tree.level[node] + 1;
+        queue.push_back(link.remote_switch);
+      }
+    }
+  }
+
+  // Parent selection: smallest-UID neighbor one level up, lowest port.
+  for (int node = 0; node < n; ++node) {
+    if (node == tree.root ||
+        tree.level[node] == std::numeric_limits<int>::max()) {
+      continue;
+    }
+    int best_parent = -1;
+    PortNum best_port = -1;
+    for (const TopoLink& link : topology.switches[node].links) {
+      int neighbor = link.remote_switch;
+      if (tree.level[neighbor] != tree.level[node] - 1) {
+        continue;
+      }
+      Uid neighbor_uid = topology.switches[neighbor].uid;
+      bool better = false;
+      if (best_parent < 0) {
+        better = true;
+      } else if (neighbor_uid < topology.switches[best_parent].uid) {
+        better = true;
+      } else if (neighbor == best_parent && link.local_port < best_port) {
+        better = true;
+      }
+      if (better) {
+        best_parent = neighbor;
+        best_port = link.local_port;
+      }
+    }
+    tree.parent[node] = best_parent;
+    tree.parent_port[node] = best_port;
+  }
+  return tree;
+}
+
+PortVector SpanningTree::ChildPorts(const NetTopology& topology,
+                                    int node) const {
+  PortVector ports;
+  for (const TopoLink& link : topology.switches[node].links) {
+    int neighbor = link.remote_switch;
+    if (parent[neighbor] == node && parent_port[neighbor] == link.remote_port) {
+      ports.Set(link.local_port);
+    }
+  }
+  return ports;
+}
+
+bool SpanningTree::IsTreeLink(const NetTopology& topology, int node,
+                              const TopoLink& link) const {
+  (void)topology;
+  int neighbor = link.remote_switch;
+  if (parent[node] == neighbor && parent_port[node] == link.local_port) {
+    return true;
+  }
+  if (parent[neighbor] == node && parent_port[neighbor] == link.remote_port) {
+    return true;
+  }
+  return false;
+}
+
+int SpanningTree::Depth() const {
+  int depth = 0;
+  for (int l : level) {
+    if (l != std::numeric_limits<int>::max()) {
+      depth = std::max(depth, l);
+    }
+  }
+  return depth;
+}
+
+bool TraversesUp(const NetTopology& topology, const SpanningTree& tree,
+                 int from, int to) {
+  if (tree.level[from] != tree.level[to]) {
+    return tree.level[to] < tree.level[from];
+  }
+  return topology.switches[to].uid < topology.switches[from].uid;
+}
+
+}  // namespace autonet

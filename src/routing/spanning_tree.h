@@ -1,0 +1,45 @@
+// The unique spanning tree a given topology converges to under the
+// distributed algorithm of section 6.6.1.  A switch's tree position is the
+// lexicographically best (root UID, level, parent UID, parent port); since
+// the ordering has a unique fixpoint, the tree can be recomputed
+// deterministically from the topology alone.  The distributed protocol in
+// src/autopilot *forms* this tree online (and detects termination); tests
+// assert both agree.
+#ifndef SRC_ROUTING_SPANNING_TREE_H_
+#define SRC_ROUTING_SPANNING_TREE_H_
+
+#include <vector>
+
+#include "src/routing/topology.h"
+
+namespace autonet {
+
+struct SpanningTree {
+  int root = -1;
+  std::vector<int> parent;          // -1 for the root
+  std::vector<PortNum> parent_port; // local port leading to the parent
+  std::vector<int> level;           // 0 at the root
+
+  // Ports of `node` that lead to its tree children.
+  PortVector ChildPorts(const NetTopology& topology, int node) const;
+  bool IsTreeLink(const NetTopology& topology, int node,
+                  const TopoLink& link) const;
+  int Depth() const;
+
+  bool operator==(const SpanningTree&) const = default;
+};
+
+// Computes the spanning tree: root = smallest UID; level = BFS distance from
+// the root; parent = the level-(L-1) neighbor with the smallest UID; parent
+// port = the lowest local port cabled to that parent.
+SpanningTree ComputeSpanningTree(const NetTopology& topology);
+
+// Up end of a link (section 6.6.4): the end closer to the root, with the
+// smaller UID breaking level ties.  Returns true if traversing
+// from->to goes *up*.
+bool TraversesUp(const NetTopology& topology, const SpanningTree& tree,
+                 int from, int to);
+
+}  // namespace autonet
+
+#endif  // SRC_ROUTING_SPANNING_TREE_H_

@@ -1,0 +1,151 @@
+#include "src/routing/topology.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <set>
+
+namespace autonet {
+
+int NetTopology::IndexOf(Uid uid) const {
+  for (int i = 0; i < size(); ++i) {
+    if (switches[i].uid == uid) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+int NetTopology::RootIndex() const {
+  int best = -1;
+  for (int i = 0; i < size(); ++i) {
+    if (best < 0 || switches[i].uid < switches[best].uid) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::string NetTopology::Validate() const {
+  char buf[160];
+  for (int i = 0; i < size(); ++i) {
+    const SwitchDescriptor& sw = switches[i];
+    std::set<PortNum> used;
+    for (const TopoLink& link : sw.links) {
+      if (link.local_port < kFirstExternalPort ||
+          link.local_port >= kPortsPerSwitch || link.remote_switch < 0 ||
+          link.remote_switch >= size() || link.remote_port < kFirstExternalPort ||
+          link.remote_port >= kPortsPerSwitch) {
+        std::snprintf(buf, sizeof(buf), "switch %d: link out of range", i);
+        return buf;
+      }
+      if (!used.insert(link.local_port).second) {
+        std::snprintf(buf, sizeof(buf), "switch %d: port %d cabled twice", i,
+                      link.local_port);
+        return buf;
+      }
+      if (sw.host_ports.Test(link.local_port)) {
+        std::snprintf(buf, sizeof(buf),
+                      "switch %d: port %d is both host and switch link", i,
+                      link.local_port);
+        return buf;
+      }
+      // Symmetric counterpart must exist.
+      const SwitchDescriptor& remote = switches[link.remote_switch];
+      bool found = std::any_of(
+          remote.links.begin(), remote.links.end(), [&](const TopoLink& r) {
+            return r.local_port == link.remote_port &&
+                   r.remote_switch == i && r.remote_port == link.local_port;
+          });
+      if (!found) {
+        std::snprintf(buf, sizeof(buf),
+                      "switch %d port %d: no symmetric link at switch %d", i,
+                      link.local_port, link.remote_switch);
+        return buf;
+      }
+    }
+  }
+  std::set<std::uint64_t> uids;
+  for (const SwitchDescriptor& sw : switches) {
+    if (!uids.insert(sw.uid.value()).second) {
+      return "duplicate switch UID";
+    }
+  }
+  return "";
+}
+
+void NetTopology::SymmetrizeLinks() {
+  for (int i = 0; i < size(); ++i) {
+    auto& links = switches[i].links;
+    links.erase(
+        std::remove_if(
+            links.begin(), links.end(),
+            [&](const TopoLink& link) {
+              if (link.remote_switch < 0 || link.remote_switch >= size()) {
+                return true;
+              }
+              const auto& remote = switches[link.remote_switch].links;
+              return !std::any_of(remote.begin(), remote.end(),
+                                  [&](const TopoLink& r) {
+                                    return r.local_port == link.remote_port &&
+                                           r.remote_switch == i &&
+                                           r.remote_port == link.local_port;
+                                  });
+            }),
+        links.end());
+  }
+}
+
+std::string NetTopology::ToString() const {
+  std::string out;
+  char buf[160];
+  for (int i = 0; i < size(); ++i) {
+    const SwitchDescriptor& sw = switches[i];
+    std::snprintf(buf, sizeof(buf), "[%d] %s num=%u hosts=%s links:", i,
+                  sw.uid.ToString().c_str(), sw.assigned_num,
+                  sw.host_ports.ToString().c_str());
+    out += buf;
+    for (const TopoLink& link : sw.links) {
+      std::snprintf(buf, sizeof(buf), " %d->(%d.%d)", link.local_port,
+                    link.remote_switch, link.remote_port);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+void AssignSwitchNumbers(NetTopology* topology) {
+  auto& switches = topology->switches;
+  const int n = static_cast<int>(switches.size());
+
+  // Visit switches in UID order so the smallest UID wins each conflict.
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return switches[a].uid < switches[b].uid;
+  });
+
+  std::set<SwitchNum> taken;
+  std::vector<int> losers;
+  for (int idx : order) {
+    SwitchNum want = switches[idx].proposed_num;
+    if (want >= kFirstSwitchNum && want <= kMaxSwitchNum &&
+        taken.insert(want).second) {
+      switches[idx].assigned_num = want;
+    } else {
+      losers.push_back(idx);
+    }
+  }
+  SwitchNum next = kFirstSwitchNum;
+  for (int idx : losers) {
+    while (taken.count(next) > 0) {
+      ++next;
+    }
+    switches[idx].assigned_num = next;
+    taken.insert(next);
+  }
+}
+
+}  // namespace autonet

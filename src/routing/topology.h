@@ -1,0 +1,73 @@
+// Graph-level description of an operational Autonet configuration: the
+// switches, the usable switch-to-switch links (those whose both ends are
+// classified s.switch.good), and the ports where hosts attach.  This is the
+// information that accumulates up the spanning tree in topology reports
+// during reconfiguration step 2 and is distributed back down in step 4
+// (section 6.6); every switch computes its forwarding table from it.
+#ifndef SRC_ROUTING_TOPOLOGY_H_
+#define SRC_ROUTING_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/port_vector.h"
+
+namespace autonet {
+
+struct TopoLink {
+  PortNum local_port = -1;
+  int remote_switch = -1;  // index into NetTopology::switches
+  PortNum remote_port = -1;
+
+  bool operator==(const TopoLink&) const = default;
+};
+
+struct SwitchDescriptor {
+  Uid uid;
+  // The switch number this switch used in the previous epoch (1 for a
+  // freshly booted switch); the root honours proposals when it can
+  // (section 6.6.3).
+  SwitchNum proposed_num = 1;
+  // Assigned by AssignSwitchNumbers.
+  SwitchNum assigned_num = 0;
+  std::vector<TopoLink> links;  // usable switch-to-switch links
+  PortVector host_ports;        // ports classified s.host
+
+  bool operator==(const SwitchDescriptor&) const = default;
+};
+
+struct NetTopology {
+  std::vector<SwitchDescriptor> switches;
+
+  int size() const { return static_cast<int>(switches.size()); }
+  // Index of the switch with the given UID, or -1.
+  int IndexOf(Uid uid) const;
+  // The unique root choice of the spanning-tree algorithm: the switch with
+  // the smallest UID.
+  int RootIndex() const;
+
+  // Structural validation: every link must have a symmetric counterpart and
+  // indices/ports must be in range.  Returns an empty string when valid.
+  std::string Validate() const;
+
+  // Drops links without a symmetric counterpart (differing connectivity
+  // views between the two ends of a marginal link).
+  void SymmetrizeLinks();
+
+  std::string ToString() const;
+
+  bool operator==(const NetTopology&) const = default;
+};
+
+// Resolves the switch-number proposals into assignments, as the root does in
+// reconfiguration step 3 (section 6.6.3): each switch gets its proposed
+// number unless several propose the same one, in which case the smallest UID
+// wins and the losers receive the lowest unrequested numbers (in UID order).
+// Proposals outside [kFirstSwitchNum, kMaxSwitchNum] count as unrequested.
+void AssignSwitchNumbers(NetTopology* topology);
+
+}  // namespace autonet
+
+#endif  // SRC_ROUTING_TOPOLOGY_H_

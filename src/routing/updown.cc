@@ -1,0 +1,222 @@
+#include "src/routing/updown.h"
+
+#include <cassert>
+#include <deque>
+
+namespace autonet {
+
+UpDownDistances ComputeDistances(const NetTopology& topology,
+                                 const SpanningTree& tree, int dest) {
+  const int n = topology.size();
+  UpDownDistances dist;
+  dist.down.assign(n, kUnreachable);
+  dist.free.assign(n, kUnreachable);
+  dist.down[dest] = 0;
+  dist.free[dest] = 0;
+
+  // BFS on the reversed layered graph {(s, down), (s, free)}.  Reversed
+  // edges: a down link s->t yields (t,down)->(s,down) and (t,down)->(s,free);
+  // an up link s->t yields (t,free)->(s,free).
+  struct Node {
+    int sw;
+    bool free_phase;
+  };
+  std::deque<Node> queue{{dest, false}, {dest, true}};
+  while (!queue.empty()) {
+    Node node = queue.front();
+    queue.pop_front();
+    int t = node.sw;
+    int d = node.free_phase ? dist.free[t] : dist.down[t];
+    // Find predecessors s with an edge into (t, phase).
+    for (const TopoLink& link : topology.switches[t].links) {
+      int s = link.remote_switch;  // links are symmetric: s has a link to t
+      bool s_to_t_up = TraversesUp(topology, tree, s, t);
+      if (!node.free_phase) {
+        // (t,down) reached by down links s->t.
+        if (!s_to_t_up) {
+          if (dist.down[s] > d + 1) {
+            dist.down[s] = d + 1;
+            queue.push_back({s, false});
+          }
+          if (dist.free[s] > d + 1) {
+            dist.free[s] = d + 1;
+            queue.push_back({s, true});
+          }
+        }
+      } else {
+        // (t,free) reached by up links s->t.
+        if (s_to_t_up && dist.free[s] > d + 1) {
+          dist.free[s] = d + 1;
+          queue.push_back({s, true});
+        }
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+
+// Ports of `self` on a minimal legal continuation toward the destination,
+// for a packet in the given phase (free = may still go up).
+PortVector NextHops(const NetTopology& topology, const SpanningTree& tree,
+                    int self, const UpDownDistances& dist, bool free_phase) {
+  PortVector ports;
+  int have = free_phase ? dist.free[self] : dist.down[self];
+  if (have >= kUnreachable || have == 0) {
+    return ports;
+  }
+  for (const TopoLink& link : topology.switches[self].links) {
+    int t = link.remote_switch;
+    bool up = TraversesUp(topology, tree, self, t);
+    if (free_phase) {
+      int via = up ? dist.free[t] : dist.down[t];
+      if (via + 1 == have) {
+        ports.Set(link.local_port);
+      }
+    } else {
+      if (!up && dist.down[t] + 1 == have) {
+        ports.Set(link.local_port);
+      }
+    }
+  }
+  return ports;
+}
+
+}  // namespace
+
+ForwardingTable BuildForwardingTable(const NetTopology& topology,
+                                     const SpanningTree& tree, int self) {
+  const SwitchDescriptor& me = topology.switches[self];
+  assert(me.assigned_num != 0 && "switch numbers must be assigned first");
+
+  ForwardingTable table;
+  table.AddOneHopEntries();
+
+  // Which inports exist, and what phase does a packet arriving there have?
+  // origin (CP or host) and up arrivals leave the packet free to go up;
+  // down arrivals lock it into the down phase.
+  PortVector origin_inports = me.host_ports;
+  origin_inports.Set(kCpPort);
+  struct SwitchInport {
+    PortNum port;
+    bool arrives_free;  // true unless the packet came *down* into us
+  };
+  std::vector<SwitchInport> switch_inports;
+  for (const TopoLink& link : me.links) {
+    bool remote_to_me_up = TraversesUp(topology, tree, link.remote_switch, self);
+    switch_inports.push_back({link.local_port, remote_to_me_up});
+  }
+
+  // --- unicast routes to every addressable (switch, port) ---
+  // Remote switches route *all 16 port values* of a switch number toward
+  // that switch; whether the address is in use is decided at the owning
+  // switch ("if the address is not in use, then the forwarding tables will
+  // at some point cause the packet to be discarded", section 6.3).  This is
+  // what lets a newly attached host become reachable with only a local
+  // table patch at its own switch — host-port changes do not trigger
+  // network-wide reconfigurations (Figure 8).
+  for (int d = 0; d < topology.size(); ++d) {
+    const SwitchDescriptor& dest_sw = topology.switches[d];
+
+    UpDownDistances dist;
+    PortVector via_free;
+    PortVector via_down;
+    if (d != self) {
+      dist = ComputeDistances(topology, tree, d);
+      via_free = NextHops(topology, tree, self, dist, /*free_phase=*/true);
+      via_down = NextHops(topology, tree, self, dist, /*free_phase=*/false);
+    }
+
+    for (PortNum q = 0; q < 16; ++q) {
+      ShortAddress addr = ShortAddress::FromSwitchPort(dest_sw.assigned_num, q);
+      if (!addr.IsAssignable()) {
+        continue;  // e.g. switch number 0 port values below 0x010
+      }
+      if (d == self) {
+        // Deliver out port q if it is the control processor or a host port;
+        // an unused port value means the address is not in use: discard.
+        if (q == kCpPort || me.host_ports.Test(q)) {
+          table.SetForAllInports(addr,
+                                 ForwardingTable::Entry::Alternatives(
+                                     PortVector::Single(q)));
+        }
+        continue;
+      }
+      if (!via_free.empty()) {
+        origin_inports.ForEach([&](PortNum p) {
+          table.Set(p, addr, ForwardingTable::Entry::Alternatives(via_free));
+        });
+      }
+      for (const SwitchInport& in : switch_inports) {
+        PortVector via = in.arrives_free ? via_free : via_down;
+        if (!via.empty()) {
+          table.Set(in.port, addr,
+                    ForwardingTable::Entry::Alternatives(via));
+        }
+      }
+    }
+  }
+
+  // --- broadcast entries (section 6.6.6) ---
+  PortVector tree_children = tree.ChildPorts(topology, self);
+  bool is_root = tree.root == self;
+  struct BroadcastKind {
+    ShortAddress addr;
+    bool to_hosts;
+    bool to_cp;
+  };
+  const BroadcastKind kinds[] = {
+      {kAddrBroadcastAll, true, true},
+      {kAddrBroadcastSwitches, false, true},
+      {kAddrBroadcastHosts, true, false},
+  };
+  for (const BroadcastKind& kind : kinds) {
+    PortVector flood = tree_children;
+    if (kind.to_hosts) {
+      flood |= me.host_ports;
+    }
+    if (kind.to_cp) {
+      flood.Set(kCpPort);
+    }
+    // Up phase: origin ports and tree-child arrivals forward toward the
+    // root; at the root the up phase ends and the flood begins.
+    PortVector up_inports = origin_inports | tree_children;
+    up_inports.ForEach([&](PortNum p) {
+      if (is_root) {
+        table.Set(p, kind.addr, ForwardingTable::Entry::Broadcast(flood));
+      } else {
+        table.Set(p, kind.addr,
+                  ForwardingTable::Entry::Alternatives(
+                      PortVector::Single(tree.parent_port[self])));
+      }
+    });
+    // Down phase: arrival from the parent floods to children and local
+    // destinations.  (The root has no parent; non-tree cross links never
+    // legally carry broadcasts, so their entries stay discard.)
+    if (!is_root) {
+      table.Set(tree.parent_port[self], kind.addr,
+                ForwardingTable::Entry::Broadcast(flood));
+    }
+  }
+
+  // --- loopback (0x7FC): reflect out the arrival port ---
+  for (PortNum p = 0; p < kPortsPerSwitch; ++p) {
+    table.Set(p, kAddrLoopback,
+              ForwardingTable::Entry::Alternatives(PortVector::Single(p)));
+  }
+
+  return table;
+}
+
+std::vector<ForwardingTable> BuildAllForwardingTables(
+    const NetTopology& topology, const SpanningTree& tree) {
+  std::vector<ForwardingTable> tables;
+  tables.reserve(topology.switches.size());
+  for (int i = 0; i < topology.size(); ++i) {
+    tables.push_back(BuildForwardingTable(topology, tree, i));
+  }
+  return tables;
+}
+
+}  // namespace autonet

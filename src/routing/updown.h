@@ -1,0 +1,57 @@
+// Up*/down* route computation (sections 4.2, 6.6.4).  The spanning tree
+// assigns each usable link a direction — the "up" end is closer to the root
+// (smaller UID on level ties) — and a legal route traverses zero or more
+// links up, then zero or more links down.  Because the directed links are
+// loop-free, routes restricted this way cannot create a cyclic buffer
+// dependency, so the flow-controlled fabric cannot deadlock; and because
+// the tree spans all switches, every destination stays reachable.
+//
+// Autopilot fills forwarding tables with the *minimum-hop* legal routes
+// (the paper notes longer legal routes are permissible but unused).  For a
+// packet in the "up" phase the minimal continuation may go up or turn down;
+// once it has gone down it may only continue down.  Arrival port encodes
+// the phase: that is why tables are indexed by (inport, address), and why a
+// corrupted address can be caught locally — an entry that would continue up
+// after a down arrival is left as a discard.
+#ifndef SRC_ROUTING_UPDOWN_H_
+#define SRC_ROUTING_UPDOWN_H_
+
+#include <vector>
+
+#include "src/fabric/forwarding_table.h"
+#include "src/routing/spanning_tree.h"
+#include "src/routing/topology.h"
+
+namespace autonet {
+
+inline constexpr int kUnreachable = 1 << 28;
+
+// Minimal legal-route distances from every switch to `dest`:
+//   down[s]: fewest hops from s to dest using only down links;
+//   free[s]: fewest hops from s to dest via any legal (up* then down*) route.
+struct UpDownDistances {
+  std::vector<int> down;
+  std::vector<int> free;
+};
+
+UpDownDistances ComputeDistances(const NetTopology& topology,
+                                 const SpanningTree& tree, int dest);
+
+// Builds the forwarding table switch `self` loads in reconfiguration step 5.
+// Requires assigned_num to be filled in (AssignSwitchNumbers).  The table
+// contains:
+//   * the constant one-hop part;
+//   * minimum-hop up*/down* routes to every addressable (switch, port);
+//   * broadcast entries: up the spanning tree to the root, flood down
+//     (section 6.6.6), with local delivery to host ports and/or the control
+//     processor according to the broadcast address;
+//   * loopback (0x7FC) entries reflecting packets out their arrival port.
+ForwardingTable BuildForwardingTable(const NetTopology& topology,
+                                     const SpanningTree& tree, int self);
+
+std::vector<ForwardingTable> BuildAllForwardingTables(
+    const NetTopology& topology, const SpanningTree& tree);
+
+}  // namespace autonet
+
+#endif  // SRC_ROUTING_UPDOWN_H_

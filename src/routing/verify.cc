@@ -1,0 +1,415 @@
+#include "src/routing/verify.h"
+
+#include "src/routing/updown.h"
+
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+
+namespace autonet {
+namespace {
+
+std::string Describe(const NetTopology& topology, int sw) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "switch %d (%s)", sw,
+                topology.switches[sw].uid.ToString().c_str());
+  return buf;
+}
+
+// Finds the link of `sw` using `port`, or nullptr (host/CP port).
+const TopoLink* LinkAt(const NetTopology& topology, int sw, PortNum port) {
+  for (const TopoLink& link : topology.switches[sw].links) {
+    if (link.local_port == port) {
+      return &link;
+    }
+  }
+  return nullptr;
+}
+
+// All (address, switch, port) destinations of a topology.
+struct Destination {
+  ShortAddress addr;
+  int sw;
+  PortNum port;
+};
+
+std::vector<Destination> AllDestinations(const NetTopology& topology) {
+  std::vector<Destination> out;
+  for (int d = 0; d < topology.size(); ++d) {
+    PortVector ports = topology.switches[d].host_ports;
+    ports.Set(kCpPort);
+    ports.ForEach([&](PortNum q) {
+      out.push_back({ShortAddress::FromSwitchPort(
+                         topology.switches[d].assigned_num, q),
+                     d, q});
+    });
+  }
+  return out;
+}
+
+// DFS over (switch, inport) states following every table alternative.
+VerifyResult WalkUnicast(const NetTopology& topology,
+                         const std::vector<ForwardingTable>& tables,
+                         int origin, const Destination& dest) {
+  char buf[192];
+  const int hop_limit = 4 * topology.size() + 8;
+  std::set<std::pair<int, PortNum>> visiting;  // on current DFS path
+
+  std::function<VerifyResult(int, PortNum, int)> walk =
+      [&](int sw, PortNum inport, int hops) -> VerifyResult {
+    if (hops > hop_limit) {
+      return VerifyResult::Fail("hop limit exceeded from " +
+                                Describe(topology, origin) + " to " +
+                                dest.addr.ToString());
+    }
+    auto state = std::make_pair(sw, inport);
+    if (!visiting.insert(state).second) {
+      return VerifyResult::Fail("routing loop at " + Describe(topology, sw) +
+                                " for " + dest.addr.ToString());
+    }
+    ForwardingTable::Entry entry = tables[sw].Lookup(inport, dest.addr);
+    VerifyResult result;
+    if (entry.IsDiscard()) {
+      result = VerifyResult::Fail("packet to " + dest.addr.ToString() +
+                                  " discarded at " + Describe(topology, sw) +
+                                  " inport " + std::to_string(inport));
+    } else if (entry.broadcast) {
+      result = VerifyResult::Fail("unexpected broadcast entry for " +
+                                  dest.addr.ToString());
+    } else {
+      bool checked_any = false;
+      entry.ports.ForEach([&](PortNum out) {
+        if (!result.ok) {
+          return;
+        }
+        checked_any = true;
+        if (const TopoLink* link = LinkAt(topology, sw, out)) {
+          VerifyResult sub =
+              walk(link->remote_switch, link->remote_port, hops + 1);
+          if (!sub.ok) {
+            result = sub;
+          }
+        } else {
+          // Delivery off the fabric: must be the right switch and port.
+          if (sw != dest.sw || out != dest.port) {
+            std::snprintf(buf, sizeof(buf),
+                          "misdelivery of %s: exits %s port %d",
+                          dest.addr.ToString().c_str(),
+                          Describe(topology, sw).c_str(), out);
+            result = VerifyResult::Fail(buf);
+          }
+        }
+      });
+      if (result.ok && !checked_any) {
+        result = VerifyResult::Fail("empty alternative set");
+      }
+    }
+    visiting.erase(state);
+    return result;
+  };
+
+  return walk(origin, kCpPort, 0);
+}
+
+VerifyResult WalkBroadcast(const NetTopology& topology,
+                           const SpanningTree& tree,
+                           const std::vector<ForwardingTable>& tables,
+                           int origin, ShortAddress addr, bool expect_hosts,
+                           bool expect_cps) {
+  (void)tree;
+  // Flood traversal; every channel may be crossed at most once.
+  std::set<std::pair<int, PortNum>> crossed;  // (switch, outport)
+  std::map<std::pair<int, PortNum>, int> delivered;
+  const int limit = 16 * topology.size() + 64;
+  int steps = 0;
+
+  std::deque<std::pair<int, PortNum>> frontier{{origin, kCpPort}};
+  while (!frontier.empty()) {
+    if (++steps > limit) {
+      return VerifyResult::Fail("broadcast flood does not terminate");
+    }
+    auto [sw, inport] = frontier.front();
+    frontier.pop_front();
+    ForwardingTable::Entry entry = tables[sw].Lookup(inport, addr);
+    if (entry.IsDiscard()) {
+      continue;
+    }
+    VerifyResult result;
+    entry.ports.ForEach([&](PortNum out) {
+      if (!result.ok) {
+        return;
+      }
+      if (const TopoLink* link = LinkAt(topology, sw, out)) {
+        if (!crossed.insert({sw, out}).second) {
+          result = VerifyResult::Fail("broadcast crosses a channel twice at " +
+                                      Describe(topology, sw));
+          return;
+        }
+        frontier.push_back({link->remote_switch, link->remote_port});
+      } else {
+        ++delivered[{sw, out}];
+      }
+    });
+    if (!result.ok) {
+      return result;
+    }
+  }
+
+  // Every expected destination exactly once.
+  for (int d = 0; d < topology.size(); ++d) {
+    PortVector expect;
+    if (expect_hosts) {
+      expect |= topology.switches[d].host_ports;
+    }
+    if (expect_cps) {
+      expect.Set(kCpPort);
+    }
+    VerifyResult result;
+    expect.ForEach([&](PortNum q) {
+      if (!result.ok) {
+        return;
+      }
+      auto it = delivered.find({d, q});
+      int copies = it == delivered.end() ? 0 : it->second;
+      if (copies != 1) {
+        result = VerifyResult::Fail(
+            "broadcast " + addr.ToString() + " delivered " +
+            std::to_string(copies) + " copies to " + Describe(topology, d) +
+            " port " + std::to_string(q));
+      }
+    });
+    if (!result.ok) {
+      return result;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+VerifyResult VerifyRoutes(const NetTopology& topology,
+                          const std::vector<ForwardingTable>& tables) {
+  std::vector<Destination> dests = AllDestinations(topology);
+  for (int origin = 0; origin < topology.size(); ++origin) {
+    for (const Destination& dest : dests) {
+      VerifyResult r = WalkUnicast(topology, tables, origin, dest);
+      if (!r.ok) {
+        return r;
+      }
+    }
+  }
+  SpanningTree tree = ComputeSpanningTree(topology);
+  for (int origin = 0; origin < topology.size(); ++origin) {
+    VerifyResult r;
+    r = WalkBroadcast(topology, tree, tables, origin, kAddrBroadcastAll, true,
+                      true);
+    if (!r.ok) {
+      return r;
+    }
+    r = WalkBroadcast(topology, tree, tables, origin, kAddrBroadcastSwitches,
+                      false, true);
+    if (!r.ok) {
+      return r;
+    }
+    r = WalkBroadcast(topology, tree, tables, origin, kAddrBroadcastHosts,
+                      true, false);
+    if (!r.ok) {
+      return r;
+    }
+  }
+  return {};
+}
+
+DependencyCheck CheckChannelDependencies(
+    const NetTopology& topology, const std::vector<ForwardingTable>& tables) {
+  // Enumerate channels.
+  std::map<std::pair<int, PortNum>, int> channel_index;
+  std::vector<ChannelId> channels;
+  for (int sw = 0; sw < topology.size(); ++sw) {
+    for (const TopoLink& link : topology.switches[sw].links) {
+      channel_index[{sw, link.local_port}] =
+          static_cast<int>(channels.size());
+      channels.push_back({sw, link.local_port});
+    }
+  }
+
+  // Addresses that can appear in packets.
+  std::vector<ShortAddress> addrs;
+  for (const SwitchDescriptor& sw : topology.switches) {
+    PortVector ports = sw.host_ports;
+    ports.Set(kCpPort);
+    ports.ForEach([&](PortNum q) {
+      addrs.push_back(ShortAddress::FromSwitchPort(sw.assigned_num, q));
+    });
+  }
+  addrs.push_back(kAddrBroadcastAll);
+  addrs.push_back(kAddrBroadcastSwitches);
+  addrs.push_back(kAddrBroadcastHosts);
+
+  // Dependency edges: channel (n -> m) feeds channel (m -> k) whenever the
+  // table at m forwards some address from the arrival port of the first
+  // channel out the port of the second.
+  std::vector<std::set<int>> out_edges(channels.size());
+  int edge_count = 0;
+  for (int n = 0; n < topology.size(); ++n) {
+    for (const TopoLink& link : topology.switches[n].links) {
+      int m = link.remote_switch;
+      int from = channel_index[{n, link.local_port}];
+      PortNum inport = link.remote_port;
+      for (ShortAddress addr : addrs) {
+        ForwardingTable::Entry entry = tables[m].Lookup(inport, addr);
+        entry.ports.ForEach([&](PortNum out) {
+          auto it = channel_index.find({m, out});
+          if (it != channel_index.end()) {
+            if (out_edges[from].insert(it->second).second) {
+              ++edge_count;
+            }
+          }
+        });
+      }
+    }
+  }
+
+  DependencyCheck check;
+  check.channels = static_cast<int>(channels.size());
+  check.edges = edge_count;
+
+  // Cycle detection (iterative DFS, colors).
+  enum : std::uint8_t { kWhite, kGray, kBlack };
+  std::vector<std::uint8_t> color(channels.size(), kWhite);
+  std::vector<int> parent(channels.size(), -1);
+  for (std::size_t root = 0; root < channels.size(); ++root) {
+    if (color[root] != kWhite) {
+      continue;
+    }
+    std::vector<std::pair<int, std::set<int>::iterator>> stack;
+    color[root] = kGray;
+    stack.push_back({static_cast<int>(root), out_edges[root].begin()});
+    while (!stack.empty()) {
+      auto& [node, it] = stack.back();
+      if (it == out_edges[node].end()) {
+        color[node] = kBlack;
+        stack.pop_back();
+        continue;
+      }
+      int next = *it++;
+      if (color[next] == kGray) {
+        // Found a cycle: recover it from the stack.
+        check.acyclic = false;
+        std::vector<ChannelId> cycle;
+        bool in_cycle = false;
+        for (const auto& frame : stack) {
+          if (frame.first == next) {
+            in_cycle = true;
+          }
+          if (in_cycle) {
+            cycle.push_back(channels[frame.first]);
+          }
+        }
+        check.cycle = std::move(cycle);
+        return check;
+      }
+      if (color[next] == kWhite) {
+        color[next] = kGray;
+        stack.push_back({next, out_edges[next].begin()});
+      }
+    }
+  }
+  return check;
+}
+
+CoverageResult ChannelCoverage(const NetTopology& topology,
+                               const std::vector<ForwardingTable>& tables) {
+  std::set<std::pair<int, PortNum>> used;
+  std::vector<Destination> dests = AllDestinations(topology);
+
+  // Follow all alternatives of all (origin, dest) pairs, marking channels.
+  for (int origin = 0; origin < topology.size(); ++origin) {
+    for (const Destination& dest : dests) {
+      std::set<std::pair<int, PortNum>> visited;
+      std::deque<std::pair<int, PortNum>> frontier{{origin, kCpPort}};
+      while (!frontier.empty()) {
+        auto [sw, inport] = frontier.front();
+        frontier.pop_front();
+        if (!visited.insert({sw, inport}).second) {
+          continue;
+        }
+        ForwardingTable::Entry entry = tables[sw].Lookup(inport, dest.addr);
+        if (entry.IsDiscard() || entry.broadcast) {
+          continue;
+        }
+        entry.ports.ForEach([&](PortNum out) {
+          if (const TopoLink* link = LinkAt(topology, sw, out)) {
+            used.insert({sw, out});
+            frontier.push_back({link->remote_switch, link->remote_port});
+          }
+        });
+      }
+    }
+  }
+
+  CoverageResult result;
+  for (int sw = 0; sw < topology.size(); ++sw) {
+    result.total += static_cast<int>(topology.switches[sw].links.size());
+  }
+  result.used = static_cast<int>(used.size());
+  return result;
+}
+
+std::vector<ForwardingTable> BuildShortestPathTables(
+    const NetTopology& topology) {
+  const int n = topology.size();
+  // All-pairs BFS distances.
+  std::vector<std::vector<int>> dist(n, std::vector<int>(n, kUnreachable));
+  for (int s = 0; s < n; ++s) {
+    dist[s][s] = 0;
+    std::deque<int> queue{s};
+    while (!queue.empty()) {
+      int u = queue.front();
+      queue.pop_front();
+      for (const TopoLink& link : topology.switches[u].links) {
+        if (dist[s][link.remote_switch] > dist[s][u] + 1) {
+          dist[s][link.remote_switch] = dist[s][u] + 1;
+          queue.push_back(link.remote_switch);
+        }
+      }
+    }
+  }
+
+  std::vector<ForwardingTable> tables;
+  tables.reserve(n);
+  for (int self = 0; self < n; ++self) {
+    ForwardingTable table;
+    table.AddOneHopEntries();
+    for (int d = 0; d < n; ++d) {
+      const SwitchDescriptor& dest_sw = topology.switches[d];
+      PortVector dest_ports = dest_sw.host_ports;
+      dest_ports.Set(kCpPort);
+      PortVector via;
+      if (d != self) {
+        for (const TopoLink& link : topology.switches[self].links) {
+          if (dist[link.remote_switch][d] + 1 == dist[self][d]) {
+            via.Set(link.local_port);
+          }
+        }
+      }
+      dest_ports.ForEach([&](PortNum q) {
+        ShortAddress addr =
+            ShortAddress::FromSwitchPort(dest_sw.assigned_num, q);
+        if (d == self) {
+          table.SetForAllInports(addr, ForwardingTable::Entry::Alternatives(
+                                           PortVector::Single(q)));
+        } else if (!via.empty()) {
+          table.SetForAllInports(addr,
+                                 ForwardingTable::Entry::Alternatives(via));
+        }
+      });
+    }
+    tables.push_back(std::move(table));
+  }
+  return tables;
+}
+
+}  // namespace autonet

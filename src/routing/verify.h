@@ -1,0 +1,74 @@
+// Offline verification of a set of forwarding tables:
+//
+//   * VerifyRoutes: follows every alternative of every (origin switch,
+//     destination address) pair through the tables, checking delivery to the
+//     right port, loop-freedom, and hop bounds — and that broadcast floods
+//     reach every host and control processor exactly once.
+//
+//   * CheckChannelDependencies: builds the channel dependency graph (one
+//     node per directed switch-to-switch channel; an edge whenever some
+//     table entry forwards from one channel into another) and checks it is
+//     acyclic.  With limited FIFO buffering and no packet discard, a cyclic
+//     dependency is exactly the condition under which the fabric can
+//     deadlock; up*/down* tables must always pass, arbitrary shortest-path
+//     tables generally do not (bench E8).
+//
+//   * ChannelCoverage: the fraction of channels used by at least one
+//     minimum-hop route — the paper's "all links can carry packets" claim,
+//     modulo the minimal-hop restriction.
+#ifndef SRC_ROUTING_VERIFY_H_
+#define SRC_ROUTING_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fabric/forwarding_table.h"
+#include "src/routing/spanning_tree.h"
+#include "src/routing/topology.h"
+
+namespace autonet {
+
+struct VerifyResult {
+  bool ok = true;
+  std::string error;
+
+  static VerifyResult Fail(std::string why) { return {false, std::move(why)}; }
+};
+
+VerifyResult VerifyRoutes(const NetTopology& topology,
+                          const std::vector<ForwardingTable>& tables);
+
+struct ChannelId {
+  int sw = -1;        // switch the channel leaves
+  PortNum port = -1;  // its local port
+
+  bool operator==(const ChannelId&) const = default;
+};
+
+struct DependencyCheck {
+  bool acyclic = true;
+  int channels = 0;
+  int edges = 0;
+  std::vector<ChannelId> cycle;  // a witness cycle when !acyclic
+};
+
+DependencyCheck CheckChannelDependencies(
+    const NetTopology& topology, const std::vector<ForwardingTable>& tables);
+
+struct CoverageResult {
+  int used = 0;
+  int total = 0;
+  double Fraction() const { return total == 0 ? 1.0 : double(used) / total; }
+};
+
+CoverageResult ChannelCoverage(const NetTopology& topology,
+                               const std::vector<ForwardingTable>& tables);
+
+// Baseline for E8: plain minimum-hop routing that ignores link directions.
+// Deadlock-prone; used to show what up*/down* buys.
+std::vector<ForwardingTable> BuildShortestPathTables(
+    const NetTopology& topology);
+
+}  // namespace autonet
+
+#endif  // SRC_ROUTING_VERIFY_H_

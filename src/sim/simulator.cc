@@ -1,0 +1,91 @@
+#include "src/sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace autonet {
+
+Simulator::EventId Simulator::ScheduleAt(Tick when, Callback callback) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  if (when < now_) {
+    when = now_;
+  }
+  Event event{when, next_seq_++, std::move(callback)};
+  EventId id{event.seq};
+  live_.insert(event.seq);
+  queue_.push(std::move(event));
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  if (!id.valid()) {
+    return false;
+  }
+  // Lazy cancellation: remove from the live set; the queue entry is
+  // discarded when it reaches the head.
+  return live_.erase(id.seq) > 0;
+}
+
+bool Simulator::PopNext(Event* out) {
+  while (!queue_.empty()) {
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(event.seq) == 0) {
+      continue;  // cancelled
+    }
+    *out = std::move(event);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::Dispatch(Event&& event) {
+  now_ = event.when;
+  ++events_processed_;
+  Callback callback = std::move(event.callback);
+  callback();
+}
+
+bool Simulator::Step() {
+  Event event;
+  if (!PopNext(&event)) {
+    return false;
+  }
+  Dispatch(std::move(event));
+  return true;
+}
+
+std::uint64_t Simulator::RunUntil(Tick t) {
+  std::uint64_t processed = 0;
+  while (!queue_.empty()) {
+    if (queue_.top().when > t) {
+      // The head may be a cancelled entry with a stale time; skip those.
+      if (live_.count(queue_.top().seq) == 0) {
+        queue_.pop();
+        continue;
+      }
+      break;
+    }
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    if (live_.erase(event.seq) == 0) {
+      continue;
+    }
+    Dispatch(std::move(event));
+    ++processed;
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  return processed;
+}
+
+std::uint64_t Simulator::Run(std::uint64_t max_events) {
+  std::uint64_t processed = 0;
+  while (processed < max_events && Step()) {
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace autonet

@@ -1,0 +1,88 @@
+// Deterministic discrete-event simulation engine.  All network components —
+// link symbol pumps, switch scheduling engines, Autopilot timer tasks — run
+// as events on one simulator instance, so the data plane and the control
+// plane share a single clock, as they do in the real Autonet.
+//
+// Determinism: events fire in (time, insertion sequence) order, and all
+// randomness flows through seeded Rng instances, so every run is exactly
+// reproducible.
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/time.h"
+
+namespace autonet {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  // Identifies a scheduled event for cancellation.  Default-constructed ids
+  // are invalid.
+  struct EventId {
+    std::uint64_t seq = 0;
+    bool valid() const { return seq != 0; }
+  };
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  EventId ScheduleAt(Tick when, Callback callback);
+  EventId ScheduleAfter(Tick delay, Callback callback) {
+    return ScheduleAt(now_ + delay, std::move(callback));
+  }
+
+  // Returns true if the event existed and had not yet fired.
+  bool Cancel(EventId id);
+
+  // Runs the earliest pending event.  Returns false if the queue is empty.
+  bool Step();
+
+  // Runs all events with time <= t, then advances the clock to t.
+  // Returns the number of events processed.
+  std::uint64_t RunUntil(Tick t);
+
+  // Runs until the queue is empty or max_events have been processed.
+  std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
+
+  Tick now() const { return now_; }
+  bool empty() const { return live_.empty(); }
+  std::size_t pending() const { return live_.size(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Tick when;
+    std::uint64_t seq;
+    Callback callback;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops the next non-cancelled event, or returns false.
+  bool PopNext(Event* out);
+  void Dispatch(Event&& event);
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<std::uint64_t> live_;  // seqs scheduled and not fired
+};
+
+}  // namespace autonet
+
+#endif  // SRC_SIM_SIMULATOR_H_

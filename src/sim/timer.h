@@ -1,0 +1,97 @@
+// Timer utilities layered on the simulator: a restartable one-shot timer and
+// a periodic task, the building blocks of Autopilot's non-preemptive task
+// scheduler (section 5.4).
+#ifndef SRC_SIM_TIMER_H_
+#define SRC_SIM_TIMER_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/sim/simulator.h"
+
+namespace autonet {
+
+// One-shot timer.  Start() cancels any pending expiry and re-arms.  Safe to
+// Start()/Stop() from inside its own callback.
+class Timer {
+ public:
+  Timer(Simulator* sim, std::function<void()> callback)
+      : sim_(sim), callback_(std::move(callback)) {}
+  ~Timer() { Stop(); }
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  void Start(Tick delay) {
+    Stop();
+    pending_ = sim_->ScheduleAfter(delay, [this] {
+      pending_ = {};
+      callback_();
+    });
+  }
+
+  void Stop() {
+    if (pending_.valid()) {
+      sim_->Cancel(pending_);
+      pending_ = {};
+    }
+  }
+
+  bool running() const { return pending_.valid(); }
+
+ private:
+  Simulator* sim_;
+  std::function<void()> callback_;
+  Simulator::EventId pending_;
+};
+
+// Fires its callback every `period` once started.  The callback runs before
+// the next firing is scheduled, so a callback may Stop() the task.
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, std::function<void()> callback)
+      : sim_(sim), callback_(std::move(callback)) {}
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start(Tick period, Tick initial_delay = -1) {
+    period_ = period;
+    Stop();
+    stopped_ = false;
+    pending_ = sim_->ScheduleAfter(initial_delay >= 0 ? initial_delay : period,
+                                   [this] { Fire(); });
+  }
+
+  void Stop() {
+    stopped_ = true;
+    if (pending_.valid()) {
+      sim_->Cancel(pending_);
+      pending_ = {};
+    }
+  }
+
+  bool running() const { return !stopped_; }
+  Tick period() const { return period_; }
+
+ private:
+  void Fire() {
+    pending_ = {};
+    callback_();
+    // The callback may have called Stop() or re-Start()ed us.
+    if (!stopped_ && !pending_.valid()) {
+      pending_ = sim_->ScheduleAfter(period_, [this] { Fire(); });
+    }
+  }
+
+  Simulator* sim_;
+  std::function<void()> callback_;
+  Tick period_ = 0;
+  bool stopped_ = true;
+  Simulator::EventId pending_;
+};
+
+}  // namespace autonet
+
+#endif  // SRC_SIM_TIMER_H_

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include "src/common/crc.h"
+#include "src/common/event_log.h"
+#include "src/common/histogram.h"
+#include "src/common/ids.h"
+#include "src/common/packet.h"
+#include "src/common/port_vector.h"
+#include "src/common/serialize.h"
+
+namespace autonet {
+namespace {
+
+TEST(Uid, MasksTo48Bits) {
+  Uid uid(0xFFFF'1234'5678'9ABCull);
+  EXPECT_EQ(uid.value(), 0x1234'5678'9ABCull);
+  EXPECT_FALSE(uid.IsNil());
+  EXPECT_TRUE(Uid().IsNil());
+}
+
+TEST(Uid, Ordering) {
+  EXPECT_LT(Uid(1), Uid(2));
+  EXPECT_EQ(Uid(7), Uid(7));
+}
+
+TEST(ShortAddress, PaperAddressMap) {
+  // The assignments of section 6.3 (low 11 bits of the 16-bit constants).
+  EXPECT_TRUE(ShortAddress(0x000).IsLocalCp());
+  for (std::uint16_t v = 0x001; v <= 0x00F; ++v) {
+    EXPECT_TRUE(ShortAddress(v).IsOneHop()) << v;
+    EXPECT_FALSE(ShortAddress(v).IsAssignable()) << v;
+  }
+  EXPECT_TRUE(ShortAddress(0x010).IsAssignable());
+  EXPECT_TRUE(ShortAddress(0x7EF).IsAssignable());
+  EXPECT_TRUE(ShortAddress(0x7F0).IsReserved());
+  EXPECT_TRUE(ShortAddress(0x7FB).IsReserved());
+  EXPECT_TRUE(kAddrLoopback.IsLoopback());
+  EXPECT_TRUE(kAddrBroadcastAll.IsBroadcastAll());
+  EXPECT_TRUE(kAddrBroadcastSwitches.IsBroadcastSwitches());
+  EXPECT_TRUE(kAddrBroadcastHosts.IsBroadcastHosts());
+  EXPECT_TRUE(kAddrBroadcastAll.IsBroadcast());
+  EXPECT_FALSE(ShortAddress(0x7FC).IsBroadcast());
+}
+
+TEST(ShortAddress, SwitchPortSplit) {
+  ShortAddress addr = ShortAddress::FromSwitchPort(5, 7);
+  EXPECT_EQ(addr.value(), (5u << 4) | 7u);
+  EXPECT_EQ(addr.switch_num(), 5);
+  EXPECT_EQ(addr.port(), 7);
+  EXPECT_TRUE(addr.IsAssignable());
+}
+
+TEST(ShortAddress, MaxSwitchNumberStaysAssignable) {
+  ShortAddress addr = ShortAddress::FromSwitchPort(kMaxSwitchNum, 12);
+  EXPECT_TRUE(addr.IsAssignable());
+  // Port 15 of the max switch number would collide with the reserved range;
+  // switches only have ports 0..12, so this cannot arise.
+  EXPECT_EQ(ShortAddress::FromSwitchPort(kMaxSwitchNum, 12).switch_num(),
+            kMaxSwitchNum);
+}
+
+TEST(ShortAddress, Masks16BitValuesLikeThePrototype) {
+  // Prototype switches interpret only the low-order 11 bits.
+  EXPECT_EQ(ShortAddress(0xFFFD).value(), kAddrBroadcastAll.value());
+  EXPECT_EQ(ShortAddress(0xFFFF).value(), kAddrBroadcastHosts.value());
+}
+
+TEST(PortVector, BasicSetOperations) {
+  PortVector v;
+  EXPECT_TRUE(v.empty());
+  v.Set(3);
+  v.Set(12);
+  EXPECT_TRUE(v.Test(3));
+  EXPECT_TRUE(v.Test(12));
+  EXPECT_FALSE(v.Test(4));
+  EXPECT_EQ(v.Count(), 2);
+  EXPECT_EQ(v.Lowest(), 3);
+  v.Clear(3);
+  EXPECT_EQ(v.Lowest(), 12);
+}
+
+TEST(PortVector, MasksTo13Bits) {
+  PortVector v(0xFFFF);
+  EXPECT_EQ(v.bits(), 0x1FFF);
+  EXPECT_EQ(v.Count(), 13);
+}
+
+TEST(PortVector, ForEachVisitsAscending) {
+  PortVector v;
+  v.Set(9);
+  v.Set(0);
+  v.Set(4);
+  std::vector<PortNum> seen;
+  v.ForEach([&](PortNum p) { seen.push_back(p); });
+  EXPECT_EQ(seen, (std::vector<PortNum>{0, 4, 9}));
+}
+
+TEST(PortVector, SetAlgebra) {
+  PortVector a = PortVector::Single(1) | PortVector::Single(2);
+  PortVector b = PortVector::Single(2) | PortVector::Single(3);
+  EXPECT_EQ((a & b), PortVector::Single(2));
+  EXPECT_EQ((a | b).Count(), 3);
+  EXPECT_FALSE((a & ~b).Test(2));
+  EXPECT_TRUE((a & ~b).Test(1));
+}
+
+TEST(Packet, WireSizeAccounting) {
+  Packet p;
+  p.type = PacketType::kEthernetEncap;
+  p.payload.assign(100, 0);
+  // 32-byte Autonet header + 14-byte encap header + data + 8-byte CRC.
+  EXPECT_EQ(p.WireSize(), 32u + 14u + 100u + 8u);
+
+  Packet c;
+  c.type = PacketType::kReconfig;
+  c.payload.assign(20, 0);
+  EXPECT_EQ(c.WireSize(), 32u + 20u + 8u);
+}
+
+TEST(Packet, MakePacketAssignsUniqueIds) {
+  PacketRef a = MakePacket(Packet{});
+  PacketRef b = MakePacket(Packet{});
+  EXPECT_NE(a->id, b->id);
+}
+
+TEST(Crc64, KnownProperties) {
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  std::uint64_t crc = Crc64::Compute(data, sizeof(data));
+  // CRC-64/WE check value for "123456789" (ECMA-182 polynomial with
+  // all-ones init and final inversion).
+  EXPECT_EQ(crc, 0x62EC59E3F1A4F00Aull);
+}
+
+TEST(Crc64, DetectsSingleBitFlip) {
+  std::vector<std::uint8_t> data(64, 0xAB);
+  std::uint64_t before = Crc64::Compute(data.data(), data.size());
+  data[17] ^= 0x04;
+  EXPECT_NE(before, Crc64::Compute(data.data(), data.size()));
+}
+
+TEST(Crc64, IncrementalMatchesOneShot) {
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 300; ++i) {
+    data.push_back(static_cast<std::uint8_t>(i * 7));
+  }
+  Crc64 inc;
+  inc.Update(data.data(), 100);
+  inc.Update(data.data() + 100, 200);
+  EXPECT_EQ(inc.Finish(), Crc64::Compute(data.data(), data.size()));
+}
+
+TEST(Serialize, RoundTrip) {
+  ByteWriter w;
+  w.U8(0x12);
+  w.U16(0x3456);
+  w.U32(0x789ABCDE);
+  w.U64(0x1122334455667788ull);
+  w.WriteUid(Uid(0xABCDEF));
+  w.WriteShortAddress(ShortAddress(0x123));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.U8(), 0x12);
+  EXPECT_EQ(r.U16(), 0x3456);
+  EXPECT_EQ(r.U32(), 0x789ABCDEu);
+  EXPECT_EQ(r.U64(), 0x1122334455667788ull);
+  EXPECT_EQ(r.ReadUid(), Uid(0xABCDEF));
+  EXPECT_EQ(r.ReadShortAddress(), ShortAddress(0x123));
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Serialize, TruncatedReadSetsError) {
+  ByteWriter w;
+  w.U16(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.U32(), 7u);  // reads past end: zeros
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(EventLog, MergeOrdersByTime) {
+  EventLog a("a");
+  EventLog b("b");
+  a.Log(300, "third");
+  b.Log(100, "first");
+  a.Log(200, "second");
+  auto merged = EventLog::Merge({&a, &b});
+  ASSERT_EQ(merged.size(), 3u);
+  EXPECT_EQ(merged[0].message, "first");
+  EXPECT_EQ(merged[1].message, "second");
+  EXPECT_EQ(merged[2].message, "third");
+}
+
+TEST(EventLog, CircularCapacity) {
+  EventLog log("x", 4);
+  for (int i = 0; i < 10; ++i) {
+    log.Logf(i, "entry %d", i);
+  }
+  ASSERT_EQ(log.entries().size(), 4u);
+  EXPECT_EQ(log.entries().front().message, "entry 6");
+}
+
+TEST(EventLog, DisabledLogsNothing) {
+  EventLog log("x");
+  log.set_enabled(false);
+  log.Log(1, "dropped");
+  EXPECT_TRUE(log.entries().empty());
+}
+
+TEST(Histogram, Percentiles) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(i);
+  }
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.Min(), 1);
+  EXPECT_DOUBLE_EQ(h.Max(), 100);
+  EXPECT_DOUBLE_EQ(h.Mean(), 50.5);
+  EXPECT_NEAR(h.Percentile(50), 50.5, 0.51);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
+}
+
+TEST(Time, PropagationDelayMatchesPaperFormula) {
+  // W = 64.1 slots/km: a 2 km link is 128.2 slots one way (section 6.2).
+  EXPECT_EQ(PropagationDelayNs(2.0), static_cast<Tick>(128.2 * 80));
+}
+
+}  // namespace
+}  // namespace autonet

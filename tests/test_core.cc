@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+constexpr Tick kDeadline = 60 * kSecond;
+
+TEST(Network, HealthyTopologyTracksFaults) {
+  Network net(MakeRing(4, 1));
+  EXPECT_EQ(net.HealthyTopology().size(), 4);
+
+  net.CutCable(0);
+  NetTopology topo = net.HealthyTopology();
+  EXPECT_EQ(topo.size(), 4);
+  int links = 0;
+  for (const auto& sw : topo.switches) {
+    links += static_cast<int>(sw.links.size());
+  }
+  EXPECT_EQ(links, 6);  // 3 cables remain, 2 link records each
+
+  net.CrashSwitch(2);
+  topo = net.HealthyTopology();
+  EXPECT_EQ(topo.size(), 3);
+  EXPECT_EQ(topo.Validate(), "");
+
+  net.RestoreCable(0);
+  net.RestartSwitch(2);
+  EXPECT_EQ(net.HealthyTopology().size(), 4);
+}
+
+TEST(Network, HealthyTopologyDropsHostPortsOfDeadSwitches) {
+  TopoSpec spec;
+  spec.AddSwitch();
+  spec.AddSwitch();
+  spec.Cable(0, 1);
+  spec.AddHost(0, 1);
+  Network net(std::move(spec));
+  net.CutHostLink(0, 0);
+  NetTopology topo = net.HealthyTopology();
+  EXPECT_TRUE(topo.switches[0].host_ports.empty());
+  EXPECT_EQ(topo.switches[1].host_ports.Count(), 1);
+}
+
+TEST(Network, SendDataFailsBeforeRegistration) {
+  Network net(MakeLine(2, 1));
+  EXPECT_FALSE(net.SendData(0, 1, 10));
+}
+
+TEST(Network, CrashSilencesLinksBothWays) {
+  Network net(MakeLine(2, 1));
+  net.CrashSwitch(1);
+  EXPECT_EQ(net.cable_at(0).mode(), LinkMode::kCut);
+  EXPECT_FALSE(net.switch_alive(1));
+  net.RestartSwitch(1);
+  EXPECT_EQ(net.cable_at(0).mode(), LinkMode::kNormal);
+  EXPECT_TRUE(net.switch_alive(1));
+}
+
+TEST(Network, CrashIsIdempotent) {
+  Network net(MakeLine(2, 1));
+  net.CrashSwitch(0);
+  net.CrashSwitch(0);
+  net.RestartSwitch(0);
+  net.RestartSwitch(0);
+  EXPECT_TRUE(net.switch_alive(0));
+}
+
+TEST(Network, ManualCutSurvivesSwitchRestart) {
+  Network net(MakeRing(3, 1));
+  net.CutCable(0);
+  net.CrashSwitch(0);
+  net.RestartSwitch(0);
+  // The manual cut must still be in force after the restart refresh.
+  EXPECT_EQ(net.cable_at(0).mode(), LinkMode::kCut);
+}
+
+TEST(Network, InboxLimitCapsDeliveries) {
+  NetworkConfig config;
+  config.inbox_limit = 3;
+  Network net(MakeLine(2, 1), config);
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+  for (int i = 0; i < 10; ++i) {
+    net.SendData(0, 1, 16);
+  }
+  net.Run(50 * kMillisecond);
+  EXPECT_EQ(net.inbox(1).size(), 3u);
+  net.ClearInboxes();
+  EXPECT_TRUE(net.inbox(1).empty());
+}
+
+TEST(Network, LastReconfigCoversWholeWave) {
+  Network net(MakeTorus(2, 2, 0));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  net.CutCable(0);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+  Network::ReconfigTiming timing = net.LastReconfig();
+  EXPECT_GT(timing.epoch, 0u);
+  EXPECT_GE(timing.start, 0);
+  EXPECT_GT(timing.end, timing.start);
+  // All alive switches ended on the same epoch.
+  for (int i = 0; i < net.num_switches(); ++i) {
+    EXPECT_EQ(net.autopilot_at(i).epoch(), timing.epoch);
+  }
+}
+
+TEST(Network, MergedLogInterleavesAllSwitches) {
+  Network net(MakeLine(3, 0));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  auto log = net.MergedLog();
+  ASSERT_FALSE(log.empty());
+  std::set<std::string> nodes;
+  Tick previous = 0;
+  for (const LogEntry& e : log) {
+    EXPECT_GE(e.time, previous);
+    previous = e.time;
+    nodes.insert(e.node);
+  }
+  EXPECT_GE(nodes.size(), 3u);
+}
+
+TEST(Network, DeterministicAcrossRuns) {
+  auto run = [] {
+    Network net(MakeTorus(2, 3, 1));
+    net.Boot();
+    net.WaitForConsistency(kDeadline);
+    std::uint64_t signature = net.sim().now();
+    for (int i = 0; i < net.num_switches(); ++i) {
+      signature = signature * 31 + net.autopilot_at(i).epoch();
+      signature = signature * 31 + net.autopilot_at(i).switch_num();
+      signature = signature * 31 + net.switch_at(i).stats().packets_forwarded;
+    }
+    return signature;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Network, ConsistencyRejectsTamperedTable) {
+  Network net(MakeLine(2, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_EQ(net.CheckConsistency(), "");
+  // Sabotage one switch's table: verification must notice.
+  ForwardingTable bogus = ForwardingTable::OneHopOnly();
+  Switch::Config no_reset_cfg = net.switch_at(0).config();
+  (void)no_reset_cfg;
+  net.switch_at(0).LoadForwardingTable(bogus);
+  EXPECT_NE(net.CheckConsistency(), "");
+}
+
+}  // namespace
+}  // namespace autonet

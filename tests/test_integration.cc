@@ -1,0 +1,279 @@
+// End-to-end regression scenarios tying the whole system together: the
+// paper's deadlock case, FIFO sizing in vivo, marginal links, the panic
+// facility, reflected broadcasts, and reconfiguration under live traffic.
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/host/ethernet.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+constexpr Tick kDeadline = 120 * kSecond;
+
+// The Figure 9 topology used by bench E7, as a regression test.
+TopoSpec Figure9() {
+  TopoSpec spec;
+  int v = spec.AddSwitch("V");
+  int w = spec.AddSwitch("W");
+  int x = spec.AddSwitch("X");
+  int y = spec.AddSwitch("Y");
+  int z = spec.AddSwitch("Z");
+  spec.Cable(v, w);
+  spec.Cable(v, x);
+  spec.Cable(w, y);
+  spec.Cable(x, z);
+  spec.Cable(y, z);
+  spec.AddHost(v);
+  spec.AddHost(w);
+  spec.AddHost(z);
+  spec.AddHost(y);
+  return spec;
+}
+
+void RunFigure9(bool fix, bool* both_delivered) {
+  NetworkConfig config;
+  config.switch_config.broadcast_ignores_stop = fix;
+  config.switch_config.fifo_capacity = fix ? 4096 : 1024;
+  Network net(Figure9(), config);
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+  net.ClearInboxes();
+
+  net.SendData(3, 2, 2000);  // D occupies Y-Z then Z-C
+  net.Run(10 * kMicrosecond);
+  net.SendData(1, 2, 60000);  // B's long packet
+  net.Run(110 * kMicrosecond);
+  Packet bcast;
+  bcast.dest = kAddrBroadcastHosts;
+  bcast.dest_uid = Uid(kEthernetBroadcastUid);
+  bcast.payload.assign(kMaxBridgedData, 0xBB);
+  net.driver_at(0).Send(std::move(bcast));
+
+  net.Run(2 * kSecond);
+  bool have_long = false;
+  bool have_bcast = false;
+  for (const Delivery& d : net.inbox(2)) {
+    if (!d.intact()) {
+      continue;
+    }
+    have_long |= d.packet->payload.size() == 60000;
+    have_bcast |= d.packet->dest.IsBroadcast();
+  }
+  *both_delivered = have_long && have_bcast;
+}
+
+TEST(Figure9Deadlock, BrokenPolicyWedgesFixedPolicyDelivers) {
+  bool broken_delivered = true;
+  RunFigure9(/*fix=*/false, &broken_delivered);
+  EXPECT_FALSE(broken_delivered);
+
+  bool fixed_delivered = false;
+  RunFigure9(/*fix=*/true, &fixed_delivered);
+  EXPECT_TRUE(fixed_delivered);
+}
+
+TEST(FifoSizing, NoOverflowOnLongFiberAtFullLoad) {
+  // Two switches joined by a 2 km fiber; continuous bulk traffic.  With
+  // the stock 4096-byte FIFO and flow control, nothing may ever overflow
+  // (section 6.2).
+  TopoSpec spec;
+  spec.AddSwitch();
+  spec.AddSwitch();
+  spec.Cable(0, 1, /*length_km=*/2.0);
+  spec.AddHost(0);
+  spec.AddHost(1);
+  Network net(std::move(spec));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+  for (int i = 0; i < 10; ++i) {
+    net.SendData(0, 1, 8000);
+    net.SendData(1, 0, 8000);
+  }
+  net.Run(100 * kMillisecond);
+  for (int s = 0; s < 2; ++s) {
+    for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+      EXPECT_EQ(net.switch_at(s).link_unit(p).fifo().overflow_count(), 0u);
+    }
+  }
+  EXPECT_EQ(net.inbox(0).size(), 10u);
+  EXPECT_EQ(net.inbox(1).size(), 10u);
+}
+
+TEST(MarginalLink, CorruptedTrafficKillsAndSkepticGates) {
+  Network net(MakeTorus(2, 3, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+
+  // A marginal cable: 2% of bytes damaged.  Control-plane probes fail
+  // their CRCs; the status sampler sees the errors; the link dies.
+  net.cable_at(0).SetCorruptionRate(0.02);
+  const TopoSpec::CableSpec& cable = net.spec().cables[0];
+  Tick deadline = net.sim().now() + 120 * kSecond;
+  bool died = false;
+  while (net.sim().now() < deadline && !died) {
+    net.Run(500 * kMillisecond);
+    died = net.autopilot_at(cable.sw_a).port_state(cable.port_a) ==
+               PortState::kDead ||
+           net.autopilot_at(cable.sw_b).port_state(cable.port_b) ==
+               PortState::kDead;
+  }
+  EXPECT_TRUE(died);
+
+  // Repair it; after skeptic holddown the network heals completely.
+  net.cable_at(0).SetCorruptionRate(0.0);
+  EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + 10 * 60 * kSecond,
+                                     500 * kMillisecond))
+      << net.CheckConsistency();
+}
+
+TEST(Panic, ClearsRemoteFifoBacklog) {
+  // The panic directive (designed in section 6.1, unimplemented in the
+  // prototype, implemented here): resets the remote link unit, clearing
+  // its receive FIFO.
+  Network net(MakeLine(2, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  // Jam switch 1's trunk FIFO: host 1's outbound port goes quiet while a
+  // packet for it is in flight... simpler: directly verify the wire
+  // behaviour: switch 0 sends panic; switch 1's trunk FIFO is cleared.
+  const TopoSpec::CableSpec& cable = net.spec().cables[0];
+  // Park some bytes in switch 1's receive FIFO by cutting its drain: load
+  // a discard-all table is too blunt — instead send a packet addressed to
+  // a dead address so it sits in the FIFO briefly, then panic mid-flight.
+  net.SendData(0, 1, 60000);
+  net.Run(300 * kMicrosecond);
+  EXPECT_GT(net.switch_at(cable.sw_b).link_unit(cable.port_b).fifo()
+                .occupancy(),
+            0u);
+  net.switch_at(cable.sw_a).SendPanic(cable.port_a);
+  net.Run(5 * kMillisecond);
+  // The long packet was destroyed by the link-unit reset.
+  bool long_delivered = false;
+  for (const Delivery& d : net.inbox(1)) {
+    long_delivered |= d.intact() && d.packet->payload.size() == 60000;
+  }
+  EXPECT_FALSE(long_delivered);
+  // And the network remains healthy afterwards.
+  EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+}
+
+TEST(Reflection, ReflectedHostLinkGetsKilledByStatus) {
+  // The broadcast-storm anecdote of section 7: an unterminated host link
+  // reflects packets.  The remedy in practice: enough bad status (our
+  // model: the driver's own reflected traffic plus syntax errors) makes
+  // the status sampler remove the link.
+  Network net(MakeLine(2, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+  const TopoSpec::HostSpec& host = net.spec().hosts[1];
+
+  // Host 1's link starts reflecting at the switch side (host unplugged,
+  // cable left dangling at the switch).
+  net.host_link(1, 0).SetMode(LinkMode::kReflectB);
+  net.Run(10 * kSecond);
+  // The switch port must not stay classified s.host forever: its own
+  // start directives echo back (IsHost false), so the port leaves s.host;
+  // the connectivity monitor then sees its own UID and parks it in
+  // s.switch.loop, or status errors kill it.
+  PortState state =
+      net.autopilot_at(host.primary_switch).port_state(host.primary_port);
+  EXPECT_NE(state, PortState::kHost);
+  EXPECT_TRUE(state == PortState::kSwitchLoop || state == PortState::kDead ||
+              state == PortState::kSwitchWho)
+      << PortStateName(state);
+}
+
+TEST(LiveTraffic, ReconfigurationUnderLoadRecovers) {
+  // Continuous traffic while a cable dies and returns: packets in flight
+  // during the reconfiguration are destroyed (the prototype's reset-coupled
+  // table load), but traffic resumes afterwards with no manual action.
+  Network net(MakeTorus(2, 3, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  int sent = 0;
+  auto pump = [&](Tick duration) {
+    Tick end = net.sim().now() + duration;
+    while (net.sim().now() < end) {
+      for (int h = 0; h < net.num_hosts(); ++h) {
+        if (net.SendData(h, (h + 1) % net.num_hosts(), 256)) {
+          ++sent;
+        }
+      }
+      net.Run(5 * kMillisecond);
+    }
+  };
+  pump(200 * kMillisecond);
+  net.CutCable(0);
+  pump(kSecond);
+  net.RestoreCable(0);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+
+  // Fresh traffic flows loss-free after recovery.
+  net.ClearInboxes();
+  int verify_sent = 0;
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    if (net.SendData(h, (h + 2) % net.num_hosts(), 256)) {
+      ++verify_sent;
+    }
+  }
+  net.Run(50 * kMillisecond);
+  int delivered = 0;
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    for (const Delivery& d : net.inbox(h)) {
+      delivered += d.intact() ? 1 : 0;
+    }
+  }
+  EXPECT_EQ(delivered, verify_sent);
+  EXPECT_GT(sent, 0);
+}
+
+TEST(Ablation, ImprovedHardwareLoadsTablesWithoutReset) {
+  // Section 7: "The most significant change would be to allow the control
+  // processor to update the forwarding table without first resetting the
+  // switch."  With reset_on_table_load off, a reconfiguration destroys far
+  // fewer in-flight packets.
+  auto measure_losses = [](bool reset_on_load) {
+    NetworkConfig config;
+    config.switch_config.reset_on_table_load = reset_on_load;
+    Network net(MakeTorus(2, 3, 1), config);
+    net.Boot();
+    EXPECT_TRUE(net.WaitForConsistency(kDeadline));
+    EXPECT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+    std::uint64_t resets = 0;
+    for (int i = 0; i < net.num_switches(); ++i) {
+      resets += net.switch_at(i).stats().resets;
+    }
+    return resets;
+  };
+  std::uint64_t with_reset = measure_losses(true);
+  std::uint64_t without_reset = measure_losses(false);
+  EXPECT_GT(with_reset, 0u);
+  EXPECT_EQ(without_reset, 0u);
+}
+
+TEST(SrcLan, FullServiceNetworkBootsAndVerifies) {
+  Network net(MakeSrcLan(20));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(5 * 60 * kSecond, 200 * kMillisecond))
+      << net.CheckConsistency();
+  EXPECT_EQ(net.autopilot_at(0).topology()->size(), 30);
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 60 * kSecond));
+  // A few spot deliveries across the torus.
+  ASSERT_TRUE(net.SendData(0, 10, 1000));
+  ASSERT_TRUE(net.SendData(5, 15, 1000));
+  net.Run(20 * kMillisecond);
+  EXPECT_EQ(net.inbox(10).size(), 1u);
+  EXPECT_EQ(net.inbox(15).size(), 1u);
+}
+
+}  // namespace
+}  // namespace autonet

@@ -1,0 +1,212 @@
+// Local reconfiguration (section 7 future work, implemented here): non-tree
+// link changes are applied as topology deltas routed to the root and
+// redistributed down the standing tree, skipping the full five-step
+// reconfiguration — the network never closes.
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/routing/spanning_tree.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+constexpr Tick kDeadline = 120 * kSecond;
+
+NetworkConfig LocalConfig() {
+  NetworkConfig config;
+  config.autopilot.enable_local_reconfig = true;
+  return config;
+}
+
+// On a ring, exactly one link is a non-tree (cross) link: the one closing
+// the cycle between the two deepest switches.
+int CrossCableOfRing(Network& net) {
+  const NetTopology topo = net.HealthyTopology();
+  SpanningTree tree = ComputeSpanningTree(topo);
+  for (std::size_t c = 0; c < net.spec().cables.size(); ++c) {
+    const TopoSpec::CableSpec& cable = net.spec().cables[c];
+    bool is_tree = false;
+    for (const TopoLink& link : topo.switches[cable.sw_a].links) {
+      if (link.local_port == cable.port_a) {
+        is_tree = tree.IsTreeLink(topo, cable.sw_a, link);
+      }
+    }
+    if (!is_tree) {
+      return static_cast<int>(c);
+    }
+  }
+  return -1;
+}
+
+std::uint64_t TotalEpochJoins(Network& net) {
+  std::uint64_t total = 0;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    total += net.autopilot_at(i).engine().stats().epochs_joined;
+  }
+  return total;
+}
+
+std::uint64_t TotalLocalUpdates(Network& net) {
+  std::uint64_t total = 0;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    total += net.autopilot_at(i).engine().stats().local_updates_applied;
+  }
+  return total;
+}
+
+TEST(LocalReconfig, NonTreeLinkCutAvoidsFullReconfiguration) {
+  Network net(MakeRing(6, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline)) << net.CheckConsistency();
+  int cross = CrossCableOfRing(net);
+  ASSERT_GE(cross, 0);
+
+  std::uint64_t joins_before = TotalEpochJoins(net);
+  std::uint64_t epoch_before = net.autopilot_at(0).epoch();
+  net.CutCable(cross);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+      << net.CheckConsistency();
+
+  // No switch joined a new epoch: the change went through the delta path.
+  EXPECT_EQ(TotalEpochJoins(net), joins_before);
+  EXPECT_EQ(net.autopilot_at(0).epoch(), epoch_before);
+  EXPECT_GE(TotalLocalUpdates(net), static_cast<std::uint64_t>(
+                                        net.num_switches()));
+}
+
+TEST(LocalReconfig, NonTreeLinkRestoreAlsoLocal) {
+  Network net(MakeRing(6, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  int cross = CrossCableOfRing(net);
+  ASSERT_GE(cross, 0);
+  net.CutCable(cross);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+
+  std::uint64_t joins_before = TotalEpochJoins(net);
+  net.RestoreCable(cross);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+      << net.CheckConsistency();
+  EXPECT_EQ(TotalEpochJoins(net), joins_before);
+}
+
+TEST(LocalReconfig, TreeLinkCutFallsBackToFullReconfiguration) {
+  Network net(MakeRing(6, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  int cross = CrossCableOfRing(net);
+  ASSERT_GE(cross, 0);
+  // Any other ring cable is a tree link.
+  int tree_cable = cross == 0 ? 1 : 0;
+
+  std::uint64_t epoch_before = net.autopilot_at(0).epoch();
+  net.CutCable(tree_cable);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+      << net.CheckConsistency();
+  EXPECT_GT(net.autopilot_at(0).epoch(), epoch_before);
+}
+
+TEST(LocalReconfig, TrafficSurvivesLocalUpdateButNotFullOne) {
+  // The headline property: during a local update the network keeps
+  // carrying host packets (no one-hop table clamp), while a full
+  // reconfiguration closes it.
+  Network net(MakeRing(6, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+  int cross = CrossCableOfRing(net);
+  ASSERT_GE(cross, 0);
+  const TopoSpec::CableSpec& cable = net.spec().cables[cross];
+
+  // Pick a host pair whose min route does NOT use the cross cable: two
+  // hosts adjacent on the tree.
+  int src = cable.sw_a;
+  int dst = (cable.sw_a + 3) % 6;  // far around; route choice may vary
+  // Send a steady stream while the cross link dies.
+  int sent = 0;
+  net.ClearInboxes();
+  for (int i = 0; i < 40; ++i) {
+    if (net.SendData(src, dst, 200)) {
+      ++sent;
+    }
+    if (i == 10) {
+      net.CutCable(cross);
+    }
+    net.Run(5 * kMillisecond);
+  }
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+  int delivered = 0;
+  for (const Delivery& d : net.inbox(dst)) {
+    delivered += d.intact() ? 1 : 0;
+  }
+  // Some in-flight packets can die with the prototype's reset-coupled
+  // table loads, but the network never closed: the vast majority arrive.
+  EXPECT_GE(delivered, sent - 6);
+}
+
+TEST(LocalReconfig, SwitchCrashStillFullReconfigures) {
+  // A crashed switch takes tree links with it: the delta path must refuse
+  // and the full algorithm must still handle it.
+  Network net(MakeTorus(2, 3, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  std::uint64_t epoch_before = net.autopilot_at(0).epoch();
+  net.CrashSwitch(4);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+      << net.CheckConsistency();
+  EXPECT_GT(net.autopilot_at(1).epoch(), epoch_before);
+}
+
+TEST(LocalReconfig, DisabledFlagAlwaysFullReconfigures) {
+  Network net(MakeRing(6, 1));  // default: local reconfig off
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  int cross = CrossCableOfRing(net);
+  ASSERT_GE(cross, 0);
+  std::uint64_t epoch_before = net.autopilot_at(0).epoch();
+  net.CutCable(cross);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline));
+  EXPECT_GT(net.autopilot_at(0).epoch(), epoch_before);
+  EXPECT_EQ(TotalLocalUpdates(net), 0u);
+}
+
+TEST(LocalReconfig, RepeatedDeltasStayConsistent) {
+  // Cut and restore the cross link several times: versions increase, the
+  // verifier passes every time, and no epoch churn occurs.
+  Network net(MakeTorus(3, 3, 1), LocalConfig());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  std::uint64_t epoch_before = net.autopilot_at(0).epoch();
+
+  // Find any non-tree cable of the torus.
+  const NetTopology topo = net.HealthyTopology();
+  SpanningTree tree = ComputeSpanningTree(topo);
+  int cross = -1;
+  for (std::size_t c = 0; c < net.spec().cables.size(); ++c) {
+    const TopoSpec::CableSpec& cable = net.spec().cables[c];
+    for (const TopoLink& link : topo.switches[cable.sw_a].links) {
+      if (link.local_port == cable.port_a &&
+          !tree.IsTreeLink(topo, cable.sw_a, link)) {
+        cross = static_cast<int>(c);
+      }
+    }
+    if (cross >= 0) {
+      break;
+    }
+  }
+  ASSERT_GE(cross, 0);
+
+  for (int round = 0; round < 3; ++round) {
+    net.CutCable(cross);
+    ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+        << "cut round " << round << ": " << net.CheckConsistency();
+    net.RestoreCable(cross);
+    ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + kDeadline))
+        << "restore round " << round << ": " << net.CheckConsistency();
+  }
+  EXPECT_EQ(net.autopilot_at(0).epoch(), epoch_before);
+}
+
+}  // namespace
+}  // namespace autonet

@@ -1,0 +1,340 @@
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/host/ethernet.h"
+#include "src/host/localnet.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+// --- Ethernet substrate ---
+
+TEST(Ethernet, DeliversAddressedFrame) {
+  Simulator sim;
+  EthernetSegment segment(&sim);
+  EthernetStation a(&segment, Uid(1), "a");
+  EthernetStation b(&segment, Uid(2), "b");
+  EthernetStation c(&segment, Uid(3), "c");
+
+  std::vector<EthernetFrame> got_b, got_c;
+  b.SetReceiveHandler([&](const EthernetFrame& f) { got_b.push_back(f); });
+  c.SetReceiveHandler([&](const EthernetFrame& f) { got_c.push_back(f); });
+
+  EthernetFrame f;
+  f.dest_uid = Uid(2);
+  f.ether_type = 0x0800;
+  f.data.assign(100, 1);
+  ASSERT_TRUE(a.Send(std::move(f)));
+  sim.Run();
+  ASSERT_EQ(got_b.size(), 1u);
+  EXPECT_EQ(got_b[0].src_uid, Uid(1));
+  EXPECT_TRUE(got_c.empty());  // filtered by UID
+}
+
+TEST(Ethernet, BroadcastReachesAllButSender) {
+  Simulator sim;
+  EthernetSegment segment(&sim);
+  EthernetStation a(&segment, Uid(1), "a");
+  EthernetStation b(&segment, Uid(2), "b");
+  int got_a = 0, got_b = 0;
+  a.SetReceiveHandler([&](const EthernetFrame&) { ++got_a; });
+  b.SetReceiveHandler([&](const EthernetFrame&) { ++got_b; });
+  EthernetFrame f;
+  f.dest_uid = Uid(kEthernetBroadcastUid);
+  a.Send(std::move(f));
+  sim.Run();
+  EXPECT_EQ(got_a, 0);
+  EXPECT_EQ(got_b, 1);
+}
+
+TEST(Ethernet, SharedMediumSerializes) {
+  // Two back-to-back max-size frames take at least two serialization times:
+  // the shared segment's aggregate bandwidth is the link bandwidth.
+  Simulator sim;
+  EthernetSegment segment(&sim);
+  EthernetStation a(&segment, Uid(1), "a");
+  EthernetStation b(&segment, Uid(2), "b");
+  std::vector<Tick> arrivals;
+  b.SetReceiveHandler(
+      [&](const EthernetFrame&) { arrivals.push_back(sim.now()); });
+  for (int i = 0; i < 2; ++i) {
+    EthernetFrame f;
+    f.dest_uid = Uid(2);
+    f.data.assign(1500, 0);
+    a.Send(std::move(f));
+  }
+  sim.Run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  Tick serialization = (1500 + 18) * 8 * 100;  // ns at 10 Mbit/s
+  EXPECT_GE(arrivals[1] - arrivals[0], serialization);
+}
+
+TEST(Ethernet, PromiscuousStationSeesEverything) {
+  Simulator sim;
+  EthernetSegment segment(&sim);
+  EthernetStation a(&segment, Uid(1), "a");
+  EthernetStation b(&segment, Uid(2), "b");
+  EthernetStation bridge(&segment, Uid(3), "bridge");
+  bridge.SetPromiscuous(true);
+  int seen = 0;
+  bridge.SetReceiveHandler([&](const EthernetFrame&) { ++seen; });
+  EthernetFrame f;
+  f.dest_uid = Uid(2);
+  a.Send(std::move(f));
+  sim.Run();
+  EXPECT_EQ(seen, 1);
+  (void)b;
+}
+
+TEST(Ethernet, RejectsOversizeFrames) {
+  Simulator sim;
+  EthernetSegment segment(&sim);
+  EthernetStation a(&segment, Uid(1), "a");
+  EthernetFrame f;
+  f.dest_uid = Uid(2);
+  f.data.assign(2000, 0);
+  EXPECT_FALSE(a.Send(std::move(f)));
+}
+
+// --- LocalNet over a real Autonet ---
+
+class LocalNetFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(MakeLine(2, 1));
+    net_->Boot();
+    ASSERT_TRUE(net_->WaitForConsistency(60 * kSecond));
+    ASSERT_TRUE(net_->WaitForHostsRegistered(net_->sim().now() + 30 * kSecond));
+    for (int h = 0; h < 2; ++h) {
+      localnets_.push_back(std::make_unique<LocalNet>(
+          &net_->sim(), net_->host_at(h).uid(), "ln" + std::to_string(h)));
+      localnets_[h]->AttachAutonet(&net_->driver_at(h));
+      localnets_[h]->SetReceiveHandler(
+          [this, h](NetworkId net, const Datagram& d) {
+            received_[h].push_back(d);
+            (void)net;
+          });
+    }
+  }
+
+  Datagram MakeDatagram(int to, std::size_t size = 64) {
+    Datagram d;
+    d.dest_uid = net_->host_at(to).uid();
+    d.ether_type = 0x0800;
+    d.data.assign(size, 0x33);
+    return d;
+  }
+
+  std::unique_ptr<Network> net_;
+  std::vector<std::unique_ptr<LocalNet>> localnets_;
+  std::vector<Datagram> received_[2];
+};
+
+TEST_F(LocalNetFixture, FirstPacketUsesBroadcastThenLearns) {
+  // First transmission: unknown destination, goes to the broadcast short
+  // address.
+  ASSERT_TRUE(localnets_[0]->Send(NetworkId::kAutonet, MakeDatagram(1)));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(localnets_[0]->stats().sent_broadcast_addr, 1u);
+
+  // The destination answered with an immediate ARP reply (it saw a
+  // broadcast-addressed packet with its own UID), so the second packet
+  // goes unicast.
+  ASSERT_TRUE(localnets_[0]->Send(NetworkId::kAutonet, MakeDatagram(1)));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(received_[1].size(), 2u);
+  EXPECT_EQ(localnets_[0]->stats().sent_unicast, 1u);
+
+  // And the reverse direction learned from the data packet's source fields:
+  // host 1 can reply unicast right away.
+  ASSERT_TRUE(localnets_[1]->Send(NetworkId::kAutonet, MakeDatagram(0)));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(localnets_[1]->stats().sent_unicast, 1u);
+  EXPECT_EQ(localnets_[1]->stats().sent_broadcast_addr, 0u);
+}
+
+TEST_F(LocalNetFixture, BroadcastUidDatagramReachesPeer) {
+  Datagram d = MakeDatagram(1);
+  d.dest_uid = Uid(kEthernetBroadcastUid);
+  ASSERT_TRUE(localnets_[0]->Send(NetworkId::kAutonet, d));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(received_[1].size(), 1u);
+}
+
+TEST_F(LocalNetFixture, OversizeToUnknownDiscardedWithArp) {
+  Datagram big = MakeDatagram(1, 4000);  // exceeds the broadcast limit
+  EXPECT_FALSE(localnets_[0]->Send(NetworkId::kAutonet, big));
+  EXPECT_EQ(localnets_[0]->stats().discarded_oversize_unknown, 1u);
+  EXPECT_GE(localnets_[0]->stats().arp_requests, 1u);
+
+  // The ARP exchange resolves the address; the retry succeeds unicast.
+  net_->Run(100 * kMillisecond);
+  EXPECT_TRUE(localnets_[0]->Send(NetworkId::kAutonet, big));
+  net_->Run(100 * kMillisecond);
+  ASSERT_EQ(received_[1].size(), 1u);
+  EXPECT_EQ(received_[1][0].data.size(), 4000u);
+}
+
+TEST_F(LocalNetFixture, EncryptedDatagramCarriesFlag) {
+  // Prime the address.
+  localnets_[0]->Send(NetworkId::kAutonet, MakeDatagram(1));
+  net_->Run(50 * kMillisecond);
+
+  Datagram secret = MakeDatagram(1);
+  secret.encrypted = true;
+  localnets_[0]->keys().Install(0, 0xFEED);
+  localnets_[1]->keys().Install(0, 0xFEED);
+  ASSERT_TRUE(localnets_[0]->Send(NetworkId::kAutonet, secret));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(received_[1].size(), 2u);
+  EXPECT_TRUE(received_[1][1].encrypted);
+}
+
+TEST_F(LocalNetFixture, StaleEntryRefreshedByArp) {
+  localnets_[0]->Send(NetworkId::kAutonet, MakeDatagram(1));
+  net_->Run(50 * kMillisecond);
+  ASSERT_EQ(localnets_[0]->stats().arp_requests, 0u);
+
+  // After > 2 s of silence the entry is stale; the next use sends a
+  // directed ARP request alongside the data packet.
+  net_->Run(5 * kSecond);
+  localnets_[0]->Send(NetworkId::kAutonet, MakeDatagram(1));
+  net_->Run(100 * kMillisecond);
+  EXPECT_GE(localnets_[0]->stats().arp_requests, 1u);
+  // The peer answered, so the entry did not revert to broadcast.
+  const UidCache::Entry* entry =
+      localnets_[0]->cache().Find(net_->host_at(1).uid());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_FALSE(entry->short_address.IsBroadcast());
+}
+
+// --- bridging ---
+
+class BridgeFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Autonet: 2 switches; host 0 = a workstation, host 1 = the bridge.
+    net_ = std::make_unique<Network>(MakeLine(2, 1));
+    net_->Boot();
+    ASSERT_TRUE(net_->WaitForConsistency(60 * kSecond));
+    ASSERT_TRUE(net_->WaitForHostsRegistered(net_->sim().now() + 30 * kSecond));
+
+    segment_ = std::make_unique<EthernetSegment>(&net_->sim());
+    ether_host_ = std::make_unique<EthernetStation>(segment_.get(),
+                                                    Uid(0xE0001), "ehost");
+    bridge_station_ = std::make_unique<EthernetStation>(
+        segment_.get(), net_->host_at(1).uid(), "br-eth");
+
+    // LocalNet on the Autonet-only workstation.
+    ws_ = std::make_unique<LocalNet>(&net_->sim(), net_->host_at(0).uid(),
+                                     "ws");
+    ws_->AttachAutonet(&net_->driver_at(0));
+    ws_->SetReceiveHandler([this](NetworkId, const Datagram& d) {
+      ws_rx_.push_back(d);
+    });
+
+    // LocalNet on the bridge (both networks).
+    bridge_ = std::make_unique<LocalNet>(&net_->sim(), net_->host_at(1).uid(),
+                                         "bridge");
+    bridge_->AttachAutonet(&net_->driver_at(1));
+    bridge_->AttachEthernet(bridge_station_.get());
+    bridge_->StartForwarding();
+
+    // A plain LocalNet for the Ethernet-side host.
+    eln_ = std::make_unique<LocalNet>(&net_->sim(), ether_host_->uid(), "eln");
+    eln_->AttachEthernet(ether_host_.get());
+    eln_->SetReceiveHandler([this](NetworkId, const Datagram& d) {
+      e_rx_.push_back(d);
+    });
+  }
+
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<EthernetSegment> segment_;
+  std::unique_ptr<EthernetStation> ether_host_, bridge_station_;
+  std::unique_ptr<LocalNet> ws_, bridge_, eln_;
+  std::vector<Datagram> ws_rx_, e_rx_;
+};
+
+TEST_F(BridgeFixture, EthernetToAutonetAndBack) {
+  // The Ethernet host sends to the workstation's UID: the bridge hears it
+  // promiscuously and forwards to the Autonet (broadcast address at first).
+  Datagram d;
+  d.dest_uid = net_->host_at(0).uid();
+  d.ether_type = 0x0800;
+  d.data.assign(200, 0x42);
+  ASSERT_TRUE(eln_->Send(NetworkId::kEthernet, d));
+  net_->Run(100 * kMillisecond);
+  ASSERT_EQ(ws_rx_.size(), 1u);
+  EXPECT_EQ(ws_rx_[0].src_uid, ether_host_->uid());
+  EXPECT_EQ(bridge_->stats().forwarded_to_autonet, 1u);
+
+  // Reply: the workstation sends to the Ethernet host's UID.  The bridge
+  // knows that UID lives on the Ethernet and forwards.
+  Datagram reply;
+  reply.dest_uid = ether_host_->uid();
+  reply.ether_type = 0x0800;
+  reply.data.assign(100, 0x24);
+  ASSERT_TRUE(ws_->Send(NetworkId::kAutonet, reply));
+  net_->Run(200 * kMillisecond);
+  ASSERT_EQ(e_rx_.size(), 1u);
+  EXPECT_EQ(e_rx_[0].src_uid, net_->host_at(0).uid());
+  EXPECT_GE(bridge_->stats().forwarded_to_ethernet, 1u);
+}
+
+TEST_F(BridgeFixture, BridgeRefusesEncryptedPackets) {
+  // Teach the bridge where the Ethernet host lives.
+  Datagram hello;
+  hello.dest_uid = net_->host_at(0).uid();
+  hello.data.assign(10, 0);
+  eln_->Send(NetworkId::kEthernet, hello);
+  net_->Run(100 * kMillisecond);
+
+  Datagram secret;
+  secret.dest_uid = ether_host_->uid();
+  secret.encrypted = true;
+  secret.data.assign(50, 1);
+  ws_->keys().Install(0, 0xFEED);
+  ASSERT_TRUE(ws_->Send(NetworkId::kAutonet, secret));
+  net_->Run(200 * kMillisecond);
+  EXPECT_TRUE(e_rx_.empty());
+  EXPECT_GE(bridge_->stats().forward_refused, 1u);
+}
+
+TEST_F(BridgeFixture, BridgedPacketsCarryEthernetMark) {
+  Datagram d;
+  d.dest_uid = net_->host_at(0).uid();
+  d.data.assign(20, 0x11);
+  eln_->Send(NetworkId::kEthernet, d);
+  net_->Run(100 * kMillisecond);
+  // The raw inbox isn't visible through LocalNet; check via the workstation
+  // cache: the Ethernet host was learned with the *bridge's* short address.
+  const UidCache::Entry* entry = ws_->cache().Find(ether_host_->uid());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->short_address, net_->driver_at(1).short_address());
+}
+
+TEST_F(BridgeFixture, ProxyArpAnswersForEthernetHosts) {
+  // Teach the bridge the Ethernet host's location.
+  Datagram hello;
+  hello.dest_uid = net_->host_at(0).uid();
+  hello.data.assign(10, 0);
+  eln_->Send(NetworkId::kEthernet, hello);
+  net_->Run(100 * kMillisecond);
+  ws_rx_.clear();
+
+  // Workstation broadcast-ARPs for the Ethernet host; the bridge proxies.
+  Datagram big;
+  big.dest_uid = ether_host_->uid();
+  big.data.assign(20, 0);
+  ws_->Send(NetworkId::kAutonet, big);
+  net_->Run(200 * kMillisecond);
+  const UidCache::Entry* entry = ws_->cache().Find(ether_host_->uid());
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->short_address, net_->driver_at(1).short_address());
+}
+
+}  // namespace
+}  // namespace autonet

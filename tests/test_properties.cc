@@ -1,0 +1,192 @@
+// Property-based sweeps over the core invariants:
+//   * up*/down* tables route along minimum-hop *legal* paths exactly;
+//   * flow control keeps FIFO occupancy within the analytic bound at every
+//     link length;
+//   * the control plane converges even over lossy links (CRC + reliable
+//     retransmission);
+//   * the driver's loopback self-test reports link health truthfully.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/core/network.h"
+#include "src/routing/spanning_tree.h"
+#include "src/routing/updown.h"
+#include "src/routing/verify.h"
+#include "src/topo/spec.h"
+#include "tests/topo_helpers.h"
+
+namespace autonet {
+namespace {
+
+// Walk every routing alternative and record the maximum path length per
+// (origin, destination); it must equal the layered-BFS legal distance.
+class MinimalitySuite : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinimalitySuite, TablePathsMatchLegalDistances) {
+  NetTopology topo = RandomTopology(10, 7, 9000 + GetParam());
+  SpanningTree tree = ComputeSpanningTree(topo);
+  auto tables = BuildAllForwardingTables(topo, tree);
+
+  for (int origin = 0; origin < topo.size(); ++origin) {
+    for (int dest = 0; dest < topo.size(); ++dest) {
+      if (origin == dest) {
+        continue;
+      }
+      UpDownDistances dist = ComputeDistances(topo, tree, dest);
+      ShortAddress addr =
+          ShortAddress::FromSwitchPort(topo.switches[dest].assigned_num, 0);
+      // DFS across all alternatives, tracking hop counts.
+      int max_hops = 0;
+      int min_hops = 1 << 20;
+      std::function<void(int, PortNum, int)> walk = [&](int sw, PortNum in,
+                                                        int hops) {
+        ForwardingTable::Entry entry = tables[sw].Lookup(in, addr);
+        if (entry.IsDiscard()) {
+          return;
+        }
+        bool terminal = true;
+        entry.ports.ForEach([&](PortNum out) {
+          for (const TopoLink& link : topo.switches[sw].links) {
+            if (link.local_port == out) {
+              terminal = false;
+              walk(link.remote_switch, link.remote_port, hops + 1);
+            }
+          }
+        });
+        if (terminal) {
+          max_hops = std::max(max_hops, hops);
+          min_hops = std::min(min_hops, hops);
+        }
+      };
+      walk(origin, kCpPort, 0);
+      // Every alternative leads to the destination in exactly the legal
+      // minimum number of switch-to-switch hops.
+      EXPECT_EQ(max_hops, dist.free[origin])
+          << "origin " << origin << " dest " << dest;
+      EXPECT_EQ(min_hops, dist.free[origin]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MinimalitySuite, ::testing::Range(0, 6));
+
+// Flow-control invariant: at any link length, a blocked receiver's FIFO
+// occupancy never exceeds (1-f)N + (S-1) + 2W, and never overflows the
+// stock 4096-byte FIFO.
+class FlowBoundSuite : public ::testing::TestWithParam<double> {};
+
+TEST_P(FlowBoundSuite, OccupancyStaysWithinPaperBound) {
+  double km = GetParam();
+  TopoSpec spec;
+  spec.AddSwitch();
+  spec.AddSwitch();
+  spec.Cable(0, 1, km);
+  spec.AddHost(0);
+  spec.AddHost(1);
+  NetworkConfig config;
+  config.host_config.rx_process_ns_per_packet = 50 * kMillisecond;  // slow
+  config.host_config.rx_buffer_bytes = 700;  // small: back-pressure fast
+  Network net(std::move(spec), config);
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(60 * kSecond));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  // Saturate host 0 -> host 1.  Host 1 cannot drain, but controllers never
+  // send stop; the back-pressure stays inside the fabric where the
+  // receiving FIFO of switch 1's trunk port throttles switch 0.
+  for (int i = 0; i < 6; ++i) {
+    net.SendData(0, 1, 8000);
+  }
+  net.Run(100 * kMillisecond);
+
+  const TopoSpec::CableSpec& trunk = net.spec().cables[0];
+  const PortFifo& fifo =
+      net.switch_at(trunk.sw_b).link_unit(trunk.port_b).fifo();
+  double bound = 0.5 * 4096 + (kFlowSlotPeriod - 1) + 2 * 64.1 * km;
+  EXPECT_EQ(fifo.overflow_count(), 0u) << km;
+  EXPECT_LE(static_cast<double>(fifo.max_occupancy()), bound + 1) << km;
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FlowBoundSuite,
+                         ::testing::Values(0.01, 0.1, 0.5, 1.0, 2.0));
+
+// The reconfiguration protocol tolerates *transient* loss: damaged packets
+// fail their software CRC and the reliable retransmission layer recovers.
+// (Sustained corruption is a different story by design: the status sampler
+// declares such links dead — see MarginalLink in test_integration.)
+TEST(LossyControlPlane, ConvergesDespiteTransientCorruption) {
+  Network net(MakeTorus(2, 3, 0));
+  std::size_t cables = net.spec().cables.size();
+  for (std::size_t c = 0; c < cables; ++c) {
+    net.cable_at(static_cast<int>(c)).SetCorruptionRate(0.0005);
+  }
+  net.Boot();
+  net.Run(3 * kSecond);  // converge (or flail) through the lossy period
+  for (std::size_t c = 0; c < cables; ++c) {
+    net.cable_at(static_cast<int>(c)).SetCorruptionRate(0.0);
+  }
+  EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + 10 * 60 * kSecond,
+                                     300 * kMillisecond))
+      << net.CheckConsistency();
+  std::uint64_t retransmissions = 0;
+  std::uint64_t crc_errors = 0;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    retransmissions += net.autopilot_at(i).engine().stats().retransmissions;
+    crc_errors += net.autopilot_at(i).stats().crc_errors;
+  }
+  // The lossy period must actually have exercised the recovery machinery.
+  EXPECT_GT(crc_errors + retransmissions, 0u);
+}
+
+// Loopback link self-tests (sections 6.3, 6.8.3).
+TEST(LinkTest, ActiveAndAlternateLoopback) {
+  TopoSpec spec;
+  spec.AddSwitch();
+  spec.AddSwitch();
+  spec.Cable(0, 1);
+  spec.AddHost(0, 1);
+  Network net(std::move(spec));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(60 * kSecond));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  int results = 0;
+  bool active_ok = false;
+  net.driver_at(0).TestActiveLink([&](bool ok) {
+    active_ok = ok;
+    ++results;
+  });
+  net.Run(kSecond);
+  ASSERT_EQ(results, 1);
+  EXPECT_TRUE(active_ok);
+
+  // The alternate link works too — and the driver returns to the original
+  // port afterwards.
+  bool alt_ok = false;
+  net.driver_at(0).TestAlternateLink([&](bool ok) {
+    alt_ok = ok;
+    ++results;
+  });
+  net.Run(2 * kSecond);
+  ASSERT_EQ(results, 2);
+  EXPECT_TRUE(alt_ok);
+  EXPECT_EQ(net.host_at(0).active_port(), 0);
+
+  // Cut the alternate: the test now fails but the host stays on its
+  // original, working port.
+  net.CutHostLink(0, 1);
+  bool dead_ok = true;
+  net.driver_at(0).TestAlternateLink([&](bool ok) {
+    dead_ok = ok;
+    ++results;
+  });
+  net.Run(2 * kSecond);
+  ASSERT_EQ(results, 3);
+  EXPECT_FALSE(dead_ok);
+  EXPECT_EQ(net.host_at(0).active_port(), 0);
+  EXPECT_EQ(net.driver_at(0).stats().loopback_failures, 1u);
+}
+
+}  // namespace
+}  // namespace autonet

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/random.h"
+#include "src/sim/simulator.h"
+#include "src/sim/timer.h"
+
+namespace autonet {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(300, [&] { order.push_back(3); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(200, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.ScheduleAt(100, [&] { order.push_back(3); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto id = sim.ScheduleAt(50, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReturnsFalse) {
+  Simulator sim;
+  auto id = sim.ScheduleAt(10, [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulator, RunUntilAdvancesClockPastQuietPeriod) {
+  Simulator sim;
+  int count = 0;
+  sim.ScheduleAt(100, [&] { ++count; });
+  sim.ScheduleAt(5000, [&] { ++count; });
+  EXPECT_EQ(sim.RunUntil(1000), 1u);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(sim.RunUntil(10000), 1u);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) {
+      sim.ScheduleAfter(10, chain);
+    }
+  };
+  sim.ScheduleAfter(10, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 50);
+}
+
+TEST(Simulator, PendingCountTracksLiveEvents) {
+  Simulator sim;
+  auto a = sim.ScheduleAt(10, [] {});
+  sim.ScheduleAt(20, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.Run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Timer, RestartSupersedesPreviousArm) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(&sim, [&] { ++fires; });
+  t.Start(100);
+  t.Start(500);  // re-arm: only the later expiry fires
+  sim.Run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(sim.now(), 500);
+}
+
+TEST(Timer, StopPreventsFire) {
+  Simulator sim;
+  int fires = 0;
+  Timer t(&sim, [&] { ++fires; });
+  t.Start(100);
+  t.Stop();
+  sim.Run();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Timer, CanRestartFromOwnCallback) {
+  Simulator sim;
+  int fires = 0;
+  Timer* tp = nullptr;
+  Timer t(&sim, [&] {
+    if (++fires < 3) {
+      tp->Start(100);
+    }
+  });
+  tp = &t;
+  t.Start(100);
+  sim.Run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(sim.now(), 300);
+}
+
+TEST(PeriodicTask, FiresAtPeriod) {
+  Simulator sim;
+  std::vector<Tick> times;
+  PeriodicTask task(&sim, [&] { times.push_back(sim.now()); });
+  task.Start(250);
+  sim.RunUntil(1000);
+  task.Stop();
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<Tick>{250, 500, 750, 1000}));
+}
+
+TEST(PeriodicTask, InitialDelayOverride) {
+  Simulator sim;
+  std::vector<Tick> times;
+  PeriodicTask task(&sim, [&] { times.push_back(sim.now()); });
+  task.Start(1000, 10);
+  sim.RunUntil(2100);
+  task.Stop();
+  ASSERT_GE(times.size(), 2u);
+  EXPECT_EQ(times[0], 10);
+  EXPECT_EQ(times[1], 1010);
+}
+
+TEST(PeriodicTask, CallbackMayStopTask) {
+  Simulator sim;
+  int fires = 0;
+  PeriodicTask* tp = nullptr;
+  PeriodicTask task(&sim, [&] {
+    if (++fires == 2) {
+      tp->Stop();
+    }
+  });
+  tp = &task;
+  task.Start(100);
+  sim.Run();
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(7);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.NextU64(), fork.NextU64());
+}
+
+}  // namespace
+}  // namespace autonet

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "src/autopilot/skeptic.h"
+
+namespace autonet {
+namespace {
+
+constexpr Tick kBase = 20 * kMillisecond;
+constexpr Tick kMax = 60 * kSecond;
+constexpr Tick kForgive = 10 * kSecond;
+
+TEST(Skeptic, StartsAtBaseHolddown) {
+  Skeptic s(kBase, kMax, kForgive);
+  EXPECT_EQ(s.RequiredHolddown(0), kBase);
+}
+
+TEST(Skeptic, EachRelapseDoublesHolddown) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  s.Penalize(now);
+  EXPECT_EQ(s.RequiredHolddown(now), 2 * kBase);
+  s.Penalize(now += kMillisecond);
+  EXPECT_EQ(s.RequiredHolddown(now), 4 * kBase);
+  s.Penalize(now += kMillisecond);
+  EXPECT_EQ(s.RequiredHolddown(now), 8 * kBase);
+}
+
+TEST(Skeptic, HolddownIsCapped) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  for (int i = 0; i < 40; ++i) {
+    s.Penalize(now += kMillisecond);
+  }
+  EXPECT_EQ(s.RequiredHolddown(now), kMax);
+}
+
+TEST(Skeptic, GoodServiceEarnsLevelsBack) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  s.Penalize(now);
+  s.Penalize(now += kMillisecond);
+  EXPECT_EQ(s.level(), 2);
+  // One forgiveness period recovers one level.
+  EXPECT_EQ(s.RequiredHolddown(now + kForgive), 2 * kBase);
+  // Long good service recovers fully.
+  EXPECT_EQ(s.RequiredHolddown(now + 10 * kForgive), kBase);
+  EXPECT_EQ(s.level(), 0);
+}
+
+TEST(Skeptic, PenaltyAfterForgivenessCountsFromReducedLevel) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  for (int i = 0; i < 4; ++i) {
+    s.Penalize(now += kMillisecond);
+  }
+  EXPECT_EQ(s.level(), 4);
+  // Two quiet forgiveness periods, then a relapse: 4 - 2 + 1 = 3.
+  now += 2 * kForgive;
+  s.Penalize(now);
+  EXPECT_EQ(s.level(), 3);
+}
+
+TEST(Skeptic, ZeroForgivenessNeverDecays) {
+  Skeptic s(kBase, kMax, /*forgiveness=*/0);
+  Tick now = 0;
+  s.Penalize(now);
+  s.Penalize(now + kMillisecond);
+  EXPECT_EQ(s.RequiredHolddown(now + 1000 * kSecond), 4 * kBase);
+}
+
+// Property: the holddown is monotone in the number of recent penalties and
+// never leaves [base, max].
+TEST(Skeptic, HolddownBounds) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  Tick previous = s.RequiredHolddown(now);
+  for (int i = 0; i < 64; ++i) {
+    s.Penalize(now += 2 * kMillisecond);
+    Tick h = s.RequiredHolddown(now);
+    EXPECT_GE(h, kBase);
+    EXPECT_LE(h, kMax);
+    EXPECT_GE(h, previous);
+    previous = h;
+  }
+}
+
+// Property: the paper's stability requirement — an intermittent resource
+// flapping with period P is accepted at most ~T/holddown times over T, so
+// the reconfiguration rate decays as the skeptic learns.
+TEST(Skeptic, AcceptanceRateDecaysUnderFlapping) {
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  int accepted_first_half = 0;
+  int accepted_second_half = 0;
+  const Tick kWindow = 120 * kSecond;
+  Tick clean_since = 0;
+  while (now < kWindow) {
+    now += 100 * kMillisecond;  // flap every 100 ms
+    if (now - clean_since >= s.RequiredHolddown(now)) {
+      // accepted, then immediately fails again
+      (now < kWindow / 2 ? accepted_first_half : accepted_second_half)++;
+      s.Penalize(now);
+      clean_since = now;
+    }
+  }
+  EXPECT_GT(accepted_first_half, 0);
+  EXPECT_LT(accepted_second_half, accepted_first_half);
+}
+
+}  // namespace
+}  // namespace autonet

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "src/core/traffic.h"
+#include "src/host/srp_client.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+TEST(TrafficFlows, PermutationSkipsSelf) {
+  auto flows = TrafficGenerator::Permutation(4, 2);
+  ASSERT_EQ(flows.size(), 4u);
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.dst_host, (f.src_host + 2) % 4);
+  }
+  EXPECT_TRUE(TrafficGenerator::Permutation(4, 0).empty());
+}
+
+TEST(TrafficFlows, AllToAllCount) {
+  EXPECT_EQ(TrafficGenerator::AllToAll(5).size(), 20u);
+}
+
+class TrafficNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(MakeTorus(2, 2, 1));
+    net_->Boot();
+    ASSERT_TRUE(net_->WaitForConsistency(60 * kSecond));
+    ASSERT_TRUE(
+        net_->WaitForHostsRegistered(net_->sim().now() + 30 * kSecond));
+  }
+  std::unique_ptr<Network> net_;
+};
+
+TEST_F(TrafficNetTest, SaturatingPermutationDeliversAtLinkRate) {
+  TrafficGenerator::Config config;
+  config.data_bytes = 4000;
+  TrafficGenerator gen(net_.get(), config);
+  auto report =
+      gen.Run(TrafficGenerator::Permutation(net_->num_hosts(), 1),
+              20 * kMillisecond);
+  EXPECT_GT(report.delivered, 0u);
+  EXPECT_EQ(report.damaged, 0u);
+  // Four simultaneous streams on a 2x2 torus: aggregate well above one
+  // link's bandwidth.
+  EXPECT_GT(report.delivered_mbps, 150.0);
+  EXPECT_GT(report.latency_us.count(), 0u);
+}
+
+TEST_F(TrafficNetTest, PoissonModeRespectsArrivalRate) {
+  TrafficGenerator::Config config;
+  config.data_bytes = 100;
+  config.mean_interarrival = 2 * kMillisecond;
+  TrafficGenerator gen(net_.get(), config);
+  auto report = gen.Run(TrafficGenerator::Permutation(net_->num_hosts(), 1),
+                        200 * kMillisecond);
+  // 4 flows x (200ms / 2ms) = ~400 expected arrivals; allow wide slack.
+  EXPECT_GT(report.sent, 200u);
+  EXPECT_LT(report.sent, 800u);
+  EXPECT_EQ(report.DeliveryRate(), 1.0);
+}
+
+TEST_F(TrafficNetTest, RandomPairsDeterministicPerSeed) {
+  TrafficGenerator::Config config;
+  config.seed = 7;
+  TrafficGenerator a(net_.get(), config);
+  TrafficGenerator b(net_.get(), config);
+  auto fa = a.RandomPairs(4, 16);
+  auto fb = b.RandomPairs(4, 16);
+  ASSERT_EQ(fa.size(), fb.size());
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].src_host, fb[i].src_host);
+    EXPECT_EQ(fa[i].dst_host, fb[i].dst_host);
+  }
+}
+
+// --- SRP client library ---
+
+class SrpClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<Network>(MakeLine(3, 1));
+    net_->Boot();
+    ASSERT_TRUE(net_->WaitForConsistency(60 * kSecond));
+    ASSERT_TRUE(
+        net_->WaitForHostsRegistered(net_->sim().now() + 30 * kSecond));
+    client_ = std::make_unique<SrpClient>(&net_->driver_at(0));
+  }
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<SrpClient> client_;
+};
+
+TEST_F(SrpClientTest, EchoLocalSwitch) {
+  EXPECT_TRUE(client_->Echo({}));
+}
+
+TEST_F(SrpClientTest, GetStateAcrossTwoHops) {
+  std::vector<std::uint8_t> route = {
+      static_cast<std::uint8_t>(net_->spec().cables[0].port_a),
+      static_cast<std::uint8_t>(net_->spec().cables[1].port_a)};
+  auto state = client_->GetState(route);
+  ASSERT_TRUE(state.has_value());
+  EXPECT_EQ(state->uid, net_->switch_at(2).uid());
+  EXPECT_EQ(state->switch_num, net_->autopilot_at(2).switch_num());
+  EXPECT_FALSE(state->reconfig_in_progress);
+  EXPECT_EQ(state->port_states.size(), 12u);
+}
+
+TEST_F(SrpClientTest, GetTopologyMatchesConvergedView) {
+  auto topo = client_->GetTopology({});
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->size(), 3);
+  EXPECT_EQ(topo->Validate(), "");
+}
+
+TEST_F(SrpClientTest, CrawlVisitsEverySwitch) {
+  auto entries = client_->CrawlTopology();
+  ASSERT_EQ(entries.size(), 3u);
+  std::set<std::uint64_t> uids;
+  for (const auto& e : entries) {
+    uids.insert(e.state.uid.value());
+  }
+  EXPECT_EQ(uids.size(), 3u);
+}
+
+TEST_F(SrpClientTest, GetLogTailNonEmpty) {
+  auto log = client_->GetLogTail({});
+  ASSERT_TRUE(log.has_value());
+  EXPECT_NE(log->find("config applied"), std::string::npos);
+}
+
+TEST_F(SrpClientTest, BadRouteTimesOut) {
+  // Port 9 leads nowhere: the packet is discarded; the query times out.
+  EXPECT_FALSE(client_->Echo({9}, /*timeout=*/500 * kMillisecond));
+}
+
+}  // namespace
+}  // namespace autonet

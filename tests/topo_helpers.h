@@ -1,0 +1,116 @@
+// Small NetTopology builders shared by routing tests and benches.
+#ifndef TESTS_TOPO_HELPERS_H_
+#define TESTS_TOPO_HELPERS_H_
+
+#include <cassert>
+
+#include "src/routing/topology.h"
+#include "src/sim/random.h"
+
+namespace autonet {
+
+// Cables the lowest free external ports of switches a and b together.
+inline void AddCable(NetTopology* topo, int a, int b) {
+  auto free_port = [&](int sw) {
+    PortVector used = topo->switches[sw].host_ports;
+    for (const TopoLink& link : topo->switches[sw].links) {
+      used.Set(link.local_port);
+    }
+    for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
+      if (!used.Test(p)) {
+        return p;
+      }
+    }
+    assert(false && "no free port");
+    return -1;
+  };
+  PortNum pa = free_port(a);
+  PortNum pb = (a == b) ? -1 : free_port(b);
+  if (a == b) {
+    return;  // self-cables are omitted from configurations
+  }
+  topo->switches[a].links.push_back({pa, b, pb});
+  topo->switches[b].links.push_back({pb, a, pa});
+}
+
+inline NetTopology EmptyTopology(int n, std::uint64_t uid_base = 0x100) {
+  NetTopology topo;
+  topo.switches.resize(n);
+  for (int i = 0; i < n; ++i) {
+    topo.switches[i].uid = Uid(uid_base + static_cast<std::uint64_t>(i));
+    topo.switches[i].proposed_num = static_cast<SwitchNum>(i + 1);
+  }
+  return topo;
+}
+
+// Adds one host to the lowest free port of every switch.
+inline void AddHostPerSwitch(NetTopology* topo) {
+  for (auto& sw : topo->switches) {
+    PortVector used = sw.host_ports;
+    for (const TopoLink& link : sw.links) {
+      used.Set(link.local_port);
+    }
+    for (PortNum p = kPortsPerSwitch - 1; p >= kFirstExternalPort; --p) {
+      if (!used.Test(p)) {
+        sw.host_ports.Set(p);
+        break;
+      }
+    }
+  }
+}
+
+inline NetTopology LineTopology(int n) {
+  NetTopology topo = EmptyTopology(n);
+  for (int i = 0; i + 1 < n; ++i) {
+    AddCable(&topo, i, i + 1);
+  }
+  AddHostPerSwitch(&topo);
+  AssignSwitchNumbers(&topo);
+  return topo;
+}
+
+inline NetTopology RingTopology(int n) {
+  NetTopology topo = EmptyTopology(n);
+  for (int i = 0; i < n; ++i) {
+    AddCable(&topo, i, (i + 1) % n);
+  }
+  AddHostPerSwitch(&topo);
+  AssignSwitchNumbers(&topo);
+  return topo;
+}
+
+// Random connected topology: a random spanning tree plus extra_edges chords.
+inline NetTopology RandomTopology(int n, int extra_edges, std::uint64_t seed) {
+  NetTopology topo = EmptyTopology(n);
+  Rng rng(seed);
+  for (int i = 1; i < n; ++i) {
+    AddCable(&topo, static_cast<int>(rng.UniformInt(0, i - 1)), i);
+  }
+  int added = 0;
+  int attempts = 0;
+  while (added < extra_edges && attempts < extra_edges * 20) {
+    ++attempts;
+    int a = static_cast<int>(rng.UniformInt(0, n - 1));
+    int b = static_cast<int>(rng.UniformInt(0, n - 1));
+    if (a == b) {
+      continue;
+    }
+    // Skip if either side is out of ports.
+    auto ports_used = [&](int sw) {
+      return static_cast<int>(topo.switches[sw].links.size());
+    };
+    if (ports_used(a) >= kPortsPerSwitch - 2 ||
+        ports_used(b) >= kPortsPerSwitch - 2) {
+      continue;
+    }
+    AddCable(&topo, a, b);
+    ++added;
+  }
+  AddHostPerSwitch(&topo);
+  AssignSwitchNumbers(&topo);
+  return topo;
+}
+
+}  // namespace autonet
+
+#endif  // TESTS_TOPO_HELPERS_H_
