@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_aggregate_bw"
+  "../bench/bench_aggregate_bw.pdb"
+  "CMakeFiles/bench_aggregate_bw.dir/bench_aggregate_bw.cc.o"
+  "CMakeFiles/bench_aggregate_bw.dir/bench_aggregate_bw.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aggregate_bw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_arp_learning"
+  "../bench/bench_arp_learning.pdb"
+  "CMakeFiles/bench_arp_learning.dir/bench_arp_learning.cc.o"
+  "CMakeFiles/bench_arp_learning.dir/bench_arp_learning.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arp_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bridge"
+  "../bench/bench_bridge.pdb"
+  "CMakeFiles/bench_bridge.dir/bench_bridge.cc.o"
+  "CMakeFiles/bench_bridge.dir/bench_bridge.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bridge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

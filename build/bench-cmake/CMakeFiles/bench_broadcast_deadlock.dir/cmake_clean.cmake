@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_broadcast_deadlock"
+  "../bench/bench_broadcast_deadlock.pdb"
+  "CMakeFiles/bench_broadcast_deadlock.dir/bench_broadcast_deadlock.cc.o"
+  "CMakeFiles/bench_broadcast_deadlock.dir/bench_broadcast_deadlock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_broadcast_deadlock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fifo_sizing"
+  "../bench/bench_fifo_sizing.pdb"
+  "CMakeFiles/bench_fifo_sizing.dir/bench_fifo_sizing.cc.o"
+  "CMakeFiles/bench_fifo_sizing.dir/bench_fifo_sizing.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fifo_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_local_reconfig"
+  "../bench/bench_local_reconfig.pdb"
+  "CMakeFiles/bench_local_reconfig.dir/bench_local_reconfig.cc.o"
+  "CMakeFiles/bench_local_reconfig.dir/bench_local_reconfig.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_local_reconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

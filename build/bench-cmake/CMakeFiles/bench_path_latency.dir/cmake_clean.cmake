@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_path_latency"
+  "../bench/bench_path_latency.pdb"
+  "CMakeFiles/bench_path_latency.dir/bench_path_latency.cc.o"
+  "CMakeFiles/bench_path_latency.dir/bench_path_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_path_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

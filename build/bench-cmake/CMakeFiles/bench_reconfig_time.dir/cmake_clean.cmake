@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_reconfig_time"
+  "../bench/bench_reconfig_time.pdb"
+  "CMakeFiles/bench_reconfig_time.dir/bench_reconfig_time.cc.o"
+  "CMakeFiles/bench_reconfig_time.dir/bench_reconfig_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reconfig_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_skeptic"
+  "../bench/bench_skeptic.pdb"
+  "CMakeFiles/bench_skeptic.dir/bench_skeptic.cc.o"
+  "CMakeFiles/bench_skeptic.dir/bench_skeptic.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_skeptic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

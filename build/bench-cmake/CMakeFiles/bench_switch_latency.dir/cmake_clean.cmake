@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_switch_latency"
+  "../bench/bench_switch_latency.pdb"
+  "CMakeFiles/bench_switch_latency.dir/bench_switch_latency.cc.o"
+  "CMakeFiles/bench_switch_latency.dir/bench_switch_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_switch_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

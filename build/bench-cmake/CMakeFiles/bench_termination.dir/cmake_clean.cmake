@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_termination"
+  "../bench/bench_termination.pdb"
+  "CMakeFiles/bench_termination.dir/bench_termination.cc.o"
+  "CMakeFiles/bench_termination.dir/bench_termination.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_termination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

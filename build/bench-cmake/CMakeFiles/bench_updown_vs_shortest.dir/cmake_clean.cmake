@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_updown_vs_shortest"
+  "../bench/bench_updown_vs_shortest.pdb"
+  "CMakeFiles/bench_updown_vs_shortest.dir/bench_updown_vs_shortest.cc.o"
+  "CMakeFiles/bench_updown_vs_shortest.dir/bench_updown_vs_shortest.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_updown_vs_shortest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_updown_vs_shortest.
+# This may be replaced when dependencies are built.

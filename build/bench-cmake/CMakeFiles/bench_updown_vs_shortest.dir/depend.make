@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_updown_vs_shortest.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bridge_demo.dir/bridge_demo.cpp.o"
+  "CMakeFiles/bridge_demo.dir/bridge_demo.cpp.o.d"
+  "bridge_demo"
+  "bridge_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bridge_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

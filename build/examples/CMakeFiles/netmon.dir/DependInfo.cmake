@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/netmon.cpp" "examples/CMakeFiles/netmon.dir/netmon.cpp.o" "gcc" "examples/CMakeFiles/netmon.dir/netmon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autonet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/autonet_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/autonet_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/autopilot/CMakeFiles/autonet_autopilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/autonet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/autonet_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/autonet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autonet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/autonet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

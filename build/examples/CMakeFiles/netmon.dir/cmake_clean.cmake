@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netmon.dir/netmon.cpp.o"
+  "CMakeFiles/netmon.dir/netmon.cpp.o.d"
+  "netmon"
+  "netmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plan_install.dir/plan_install.cpp.o"
+  "CMakeFiles/plan_install.dir/plan_install.cpp.o.d"
+  "plan_install"
+  "plan_install.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_install.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/srclan.dir/srclan.cpp.o"
+  "CMakeFiles/srclan.dir/srclan.cpp.o.d"
+  "srclan"
+  "srclan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/srclan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

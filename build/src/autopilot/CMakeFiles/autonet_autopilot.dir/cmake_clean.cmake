@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_autopilot.dir/autopilot.cc.o"
+  "CMakeFiles/autonet_autopilot.dir/autopilot.cc.o.d"
+  "CMakeFiles/autonet_autopilot.dir/config.cc.o"
+  "CMakeFiles/autonet_autopilot.dir/config.cc.o.d"
+  "CMakeFiles/autonet_autopilot.dir/messages.cc.o"
+  "CMakeFiles/autonet_autopilot.dir/messages.cc.o.d"
+  "CMakeFiles/autonet_autopilot.dir/reconfig.cc.o"
+  "CMakeFiles/autonet_autopilot.dir/reconfig.cc.o.d"
+  "libautonet_autopilot.a"
+  "libautonet_autopilot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_autopilot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

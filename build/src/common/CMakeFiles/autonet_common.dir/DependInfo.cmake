@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/crc.cc" "src/common/CMakeFiles/autonet_common.dir/crc.cc.o" "gcc" "src/common/CMakeFiles/autonet_common.dir/crc.cc.o.d"
+  "/root/repo/src/common/event_log.cc" "src/common/CMakeFiles/autonet_common.dir/event_log.cc.o" "gcc" "src/common/CMakeFiles/autonet_common.dir/event_log.cc.o.d"
+  "/root/repo/src/common/ids.cc" "src/common/CMakeFiles/autonet_common.dir/ids.cc.o" "gcc" "src/common/CMakeFiles/autonet_common.dir/ids.cc.o.d"
+  "/root/repo/src/common/packet.cc" "src/common/CMakeFiles/autonet_common.dir/packet.cc.o" "gcc" "src/common/CMakeFiles/autonet_common.dir/packet.cc.o.d"
+  "/root/repo/src/common/port_vector.cc" "src/common/CMakeFiles/autonet_common.dir/port_vector.cc.o" "gcc" "src/common/CMakeFiles/autonet_common.dir/port_vector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_common.dir/crc.cc.o"
+  "CMakeFiles/autonet_common.dir/crc.cc.o.d"
+  "CMakeFiles/autonet_common.dir/event_log.cc.o"
+  "CMakeFiles/autonet_common.dir/event_log.cc.o.d"
+  "CMakeFiles/autonet_common.dir/ids.cc.o"
+  "CMakeFiles/autonet_common.dir/ids.cc.o.d"
+  "CMakeFiles/autonet_common.dir/packet.cc.o"
+  "CMakeFiles/autonet_common.dir/packet.cc.o.d"
+  "CMakeFiles/autonet_common.dir/port_vector.cc.o"
+  "CMakeFiles/autonet_common.dir/port_vector.cc.o.d"
+  "libautonet_common.a"
+  "libautonet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

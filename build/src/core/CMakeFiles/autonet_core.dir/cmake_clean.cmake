@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_core.dir/network.cc.o"
+  "CMakeFiles/autonet_core.dir/network.cc.o.d"
+  "CMakeFiles/autonet_core.dir/traffic.cc.o"
+  "CMakeFiles/autonet_core.dir/traffic.cc.o.d"
+  "libautonet_core.a"
+  "libautonet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/cp_port.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/cp_port.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/cp_port.cc.o.d"
+  "/root/repo/src/fabric/forwarder.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/forwarder.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/forwarder.cc.o.d"
+  "/root/repo/src/fabric/forwarding_table.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/forwarding_table.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/forwarding_table.cc.o.d"
+  "/root/repo/src/fabric/link_unit.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/link_unit.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/link_unit.cc.o.d"
+  "/root/repo/src/fabric/port_fifo.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/port_fifo.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/port_fifo.cc.o.d"
+  "/root/repo/src/fabric/scheduler.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/scheduler.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/scheduler.cc.o.d"
+  "/root/repo/src/fabric/switch.cc" "src/fabric/CMakeFiles/autonet_fabric.dir/switch.cc.o" "gcc" "src/fabric/CMakeFiles/autonet_fabric.dir/switch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autonet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autonet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/autonet_link.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_fabric.dir/cp_port.cc.o"
+  "CMakeFiles/autonet_fabric.dir/cp_port.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/forwarder.cc.o"
+  "CMakeFiles/autonet_fabric.dir/forwarder.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/forwarding_table.cc.o"
+  "CMakeFiles/autonet_fabric.dir/forwarding_table.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/link_unit.cc.o"
+  "CMakeFiles/autonet_fabric.dir/link_unit.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/port_fifo.cc.o"
+  "CMakeFiles/autonet_fabric.dir/port_fifo.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/scheduler.cc.o"
+  "CMakeFiles/autonet_fabric.dir/scheduler.cc.o.d"
+  "CMakeFiles/autonet_fabric.dir/switch.cc.o"
+  "CMakeFiles/autonet_fabric.dir/switch.cc.o.d"
+  "libautonet_fabric.a"
+  "libautonet_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

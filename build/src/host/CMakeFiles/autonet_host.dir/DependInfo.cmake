@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/controller.cc" "src/host/CMakeFiles/autonet_host.dir/controller.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/controller.cc.o.d"
+  "/root/repo/src/host/crypto.cc" "src/host/CMakeFiles/autonet_host.dir/crypto.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/crypto.cc.o.d"
+  "/root/repo/src/host/driver.cc" "src/host/CMakeFiles/autonet_host.dir/driver.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/driver.cc.o.d"
+  "/root/repo/src/host/ethernet.cc" "src/host/CMakeFiles/autonet_host.dir/ethernet.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/ethernet.cc.o.d"
+  "/root/repo/src/host/localnet.cc" "src/host/CMakeFiles/autonet_host.dir/localnet.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/localnet.cc.o.d"
+  "/root/repo/src/host/srp_client.cc" "src/host/CMakeFiles/autonet_host.dir/srp_client.cc.o" "gcc" "src/host/CMakeFiles/autonet_host.dir/srp_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/autonet_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/autonet_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/link/CMakeFiles/autonet_link.dir/DependInfo.cmake"
+  "/root/repo/build/src/autopilot/CMakeFiles/autonet_autopilot.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/autonet_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/autonet_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

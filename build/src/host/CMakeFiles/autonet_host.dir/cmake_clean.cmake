@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_host.dir/controller.cc.o"
+  "CMakeFiles/autonet_host.dir/controller.cc.o.d"
+  "CMakeFiles/autonet_host.dir/crypto.cc.o"
+  "CMakeFiles/autonet_host.dir/crypto.cc.o.d"
+  "CMakeFiles/autonet_host.dir/driver.cc.o"
+  "CMakeFiles/autonet_host.dir/driver.cc.o.d"
+  "CMakeFiles/autonet_host.dir/ethernet.cc.o"
+  "CMakeFiles/autonet_host.dir/ethernet.cc.o.d"
+  "CMakeFiles/autonet_host.dir/localnet.cc.o"
+  "CMakeFiles/autonet_host.dir/localnet.cc.o.d"
+  "CMakeFiles/autonet_host.dir/srp_client.cc.o"
+  "CMakeFiles/autonet_host.dir/srp_client.cc.o.d"
+  "libautonet_host.a"
+  "libautonet_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

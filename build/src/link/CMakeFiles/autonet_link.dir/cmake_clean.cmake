@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_link.dir/link.cc.o"
+  "CMakeFiles/autonet_link.dir/link.cc.o.d"
+  "libautonet_link.a"
+  "libautonet_link.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_link.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_routing.dir/spanning_tree.cc.o"
+  "CMakeFiles/autonet_routing.dir/spanning_tree.cc.o.d"
+  "CMakeFiles/autonet_routing.dir/topology.cc.o"
+  "CMakeFiles/autonet_routing.dir/topology.cc.o.d"
+  "CMakeFiles/autonet_routing.dir/updown.cc.o"
+  "CMakeFiles/autonet_routing.dir/updown.cc.o.d"
+  "CMakeFiles/autonet_routing.dir/verify.cc.o"
+  "CMakeFiles/autonet_routing.dir/verify.cc.o.d"
+  "libautonet_routing.a"
+  "libautonet_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_sim.dir/simulator.cc.o"
+  "CMakeFiles/autonet_sim.dir/simulator.cc.o.d"
+  "libautonet_sim.a"
+  "libautonet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonet_topo.dir/planner.cc.o"
+  "CMakeFiles/autonet_topo.dir/planner.cc.o.d"
+  "CMakeFiles/autonet_topo.dir/spec.cc.o"
+  "CMakeFiles/autonet_topo.dir/spec.cc.o.d"
+  "libautonet_topo.a"
+  "libautonet_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonet_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_localnet.dir/test_localnet.cc.o"
+  "CMakeFiles/test_localnet.dir/test_localnet.cc.o.d"
+  "test_localnet"
+  "test_localnet.pdb"
+  "test_localnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_localnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_skeptic.dir/test_skeptic.cc.o"
+  "CMakeFiles/test_skeptic.dir/test_skeptic.cc.o.d"
+  "test_skeptic"
+  "test_skeptic.pdb"
+  "test_skeptic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_skeptic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
