@@ -76,7 +76,7 @@ struct Rig {
 };
 
 // Part 1: continuous stream against a stopped output.
-void StopLatencyCase(double length_km) {
+void StopLatencyCase(double length_km, bench::JsonReport& report) {
   const std::size_t kFifo = 4096;
   Rig rig(kFifo, length_km);
   // Plenty of data: several max-size packets.
@@ -91,10 +91,17 @@ void StopLatencyCase(double length_km) {
   bench::Row("  %4.1f km   %6zu B   %8.0f B   %7.0f B   %s", length_km,
              fifo.max_occupancy(), bound, min_n,
              fifo.overflow_count() == 0 ? "no overflow" : "OVERFLOW");
+  report.rows().BeginObject();
+  report.rows().Key("part").String("stop_latency");
+  report.rows().Key("length_km").Number(length_km);
+  report.rows().Key("max_occupancy_bytes").UInt(fifo.max_occupancy());
+  report.rows().Key("paper_bound_bytes").Number(bound);
+  report.rows().Key("overflows").UInt(fifo.overflow_count());
+  report.rows().EndObject();
 }
 
 // Part 2: a maximal broadcast packet arriving over a half-loaded FIFO.
-void BroadcastCase(std::size_t fifo_bytes) {
+void BroadcastCase(std::size_t fifo_bytes, bench::JsonReport& report) {
   Rig rig(fifo_bytes, 2.0);
   // Fill to just under the half-full threshold with a completable unicast
   // packet, so `start` is still being sent when the broadcast begins.
@@ -113,6 +120,12 @@ void BroadcastCase(std::size_t fifo_bytes) {
              static_cast<unsigned long long>(fifo.overflow_count()),
              fifo.overflow_count() == 0 ? "broadcast absorbed"
                                         : "broadcast OVERFLOWS");
+  report.rows().BeginObject();
+  report.rows().Key("part").String("broadcast");
+  report.rows().Key("fifo_bytes").UInt(fifo_bytes);
+  report.rows().Key("max_occupancy_bytes").UInt(fifo.max_occupancy());
+  report.rows().Key("overflows").UInt(fifo.overflow_count());
+  report.rows().EndObject();
 }
 
 }  // namespace
@@ -121,21 +134,23 @@ void BroadcastCase(std::size_t fifo_bytes) {
 int main() {
   using namespace autonet;
   bench::Title("E3", "receive-FIFO sizing (section 6.2)");
+  bench::JsonReport report("E3");
 
   bench::Row("part 1: stop-latency occupancy, 4096-byte FIFO, f = 0.5");
   bench::Row("  %6s %10s %12s %10s", "length", "max occ", "paper bound",
              "min N");
   for (double km : {0.1, 0.5, 1.0, 2.0}) {
-    StopLatencyCase(km);
+    StopLatencyCase(km, report);
   }
   bench::Row("  (paper: N = 1024 suffices for non-broadcast traffic at 2 km)");
 
   bench::Row("\npart 2: maximal broadcast (B~1550) onto a half-loaded FIFO, 2 km");
   bench::Row("  %8s %13s %13s", "FIFO", "max occ", "overflows");
   for (std::size_t n : {1024u, 2048u, 4096u}) {
-    BroadcastCase(n);
+    BroadcastCase(n, report);
   }
   bench::Row("  (paper: supporting low-latency broadcast is why the FIFO");
   bench::Row("   grows from 1024 to 4096 bytes)");
+  report.Write();
   return 0;
 }

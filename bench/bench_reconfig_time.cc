@@ -38,7 +38,7 @@ Tick MeasureTrigger(Network& net, int cable, bool cut) {
   return net.LastReconfig().Duration();
 }
 
-void RunGeneration(const Generation& gen) {
+void RunGeneration(const Generation& gen, bench::JsonReport& report) {
   NetworkConfig config;
   config.autopilot = gen.config;
   config.start_drivers = false;  // control-plane measurement only
@@ -58,6 +58,12 @@ void RunGeneration(const Generation& gen) {
 
   bench::Row("%-8s  %10.0f ms %12.0f ms %12.0f ms   %s", gen.name,
              bench::Ms(cut), bench::Ms(restore), bench::Ms(crash), gen.paper);
+  report.rows().BeginObject();
+  report.rows().Key("preset").String(gen.name);
+  report.rows().Key("link_cut_ms").Number(bench::Ms(cut));
+  report.rows().Key("link_repair_ms").Number(bench::Ms(restore));
+  report.rows().Key("switch_crash_ms").Number(bench::Ms(crash));
+  report.rows().EndObject();
 }
 
 }  // namespace
@@ -73,11 +79,13 @@ int main() {
       {"tuned", AutopilotConfig::Tuned(), "~0.5 s (current version)"},
       {"fast", AutopilotConfig::Fast(), "~0.17 s (later work)"},
   };
+  bench::JsonReport report("E1");
   for (const Generation& gen : generations) {
-    RunGeneration(gen);
+    RunGeneration(gen, report);
   }
   bench::Row("\nshape check: each generation's software tuning, on the same");
   bench::Row("algorithm and topology, should cut reconfiguration time by");
   bench::Row("roughly an order of magnitude from 'initial' to 'fast'.");
+  report.Write();
   return 0;
 }

@@ -8,9 +8,11 @@
 #include <cstdarg>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/json.h"
 
 namespace autonet {
 namespace bench {
@@ -29,6 +31,49 @@ inline void Title(const std::string& id, const std::string& what) {
 
 inline double Ms(Tick t) { return static_cast<double>(t) / 1e6; }
 inline double Us(Tick t) { return static_cast<double>(t) / 1e3; }
+
+// Machine-readable companion to the printed table: accumulates measurement
+// rows and writes them as BENCH_<id>.json in the working directory, so
+// tooling can track the regenerated figures across runs.
+//
+//   JsonReport report("E1");
+//   report.rows().BeginObject();
+//   report.rows().Key("preset").String("tuned").Key("cut_ms").Number(412.0);
+//   report.rows().EndObject();
+//   ...
+//   report.Write();  // {"bench": "E1", "rows": [...]}
+class JsonReport {
+ public:
+  explicit JsonReport(const std::string& id)
+      : path_("BENCH_" + id + ".json") {
+    writer_.BeginObject();
+    writer_.Key("bench").String(id);
+    writer_.Key("rows").BeginArray();
+  }
+
+  // Append rows through this writer (each row one object in the array).
+  JsonWriter& rows() { return writer_; }
+
+  bool Write() {
+    writer_.EndArray();
+    writer_.EndObject();
+    std::string json = writer_.Take();
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      return false;
+    }
+    bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    ok = std::fclose(f) == 0 && ok;
+    if (ok) {
+      std::printf("\n[wrote %s]\n", path_.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  std::string path_;
+  JsonWriter writer_;
+};
 
 }  // namespace bench
 }  // namespace autonet

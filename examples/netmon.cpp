@@ -68,6 +68,29 @@ int main() {
       std::printf("\nevent log tail of the most distant switch:\n%s\n",
                   log->c_str());
     }
+
+    // Pull the same switch's metric-registry slice remotely: its
+    // reconfiguration counters, fetched over SRP with GetStats.
+    if (auto stats = client.GetStats(far.route, "reconfig.")) {
+      std::printf("\nreconfig counters of the most distant switch:\n");
+      for (const auto& s : *stats) {
+        switch (s.kind) {
+          case obs::MetricKind::kCounter:
+            std::printf("  %-32s %llu\n", s.name.c_str(),
+                        static_cast<unsigned long long>(s.counter));
+            break;
+          case obs::MetricKind::kGauge:
+            std::printf("  %-32s %.1f\n", s.name.c_str(), s.gauge);
+            break;
+          case obs::MetricKind::kHistogram:
+            std::printf("  %-32s n=%llu min=%.1f max=%.1f mean=%.1f\n",
+                        s.name.c_str(),
+                        static_cast<unsigned long long>(s.hist_count),
+                        s.hist_min, s.hist_max, s.hist_mean);
+            break;
+        }
+      }
+    }
   }
   std::printf("legend: H=s.host S=s.switch.good ?=s.switch.who L=loop "
               "c=checking -=dead\n");

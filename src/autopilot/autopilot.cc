@@ -1,6 +1,7 @@
 #include "src/autopilot/autopilot.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/common/serialize.h"
 #include "src/routing/spanning_tree.h"
@@ -281,6 +282,55 @@ void Autopilot::HandleSrp(const Delivery& d) {
       }
       body.Bytes(reinterpret_cast<const std::uint8_t*>(text.data()),
                  text.size());
+      break;
+    }
+    case SrpMsg::Op::kGetStats: {
+      // Serves this switch's slice of the metric registry: every instrument
+      // under `switch.<name>.`, with that prefix stripped so the reply
+      // carries only the local part.  The request body optionally holds a
+      // substring filter.  Entry: u8 kind, u16 name length, name bytes,
+      // then kind-dependent payload (f64 transported as its bit pattern).
+      // The reply is capped near the GetLog limit so it stays one packet.
+      const std::string filter(msg->body.begin(), msg->body.end());
+      const std::string prefix = "switch." + node_->name() + ".";
+      std::uint16_t count = 0;
+      ByteWriter entries;
+      node_->sim()->metrics().Visit(prefix, [&](const obs::MetricRegistry::
+                                                    Entry& e) {
+        if (entries.size() > 900) {
+          return;
+        }
+        std::string name = e.name.substr(prefix.size());
+        if (!filter.empty() && name.find(filter) == std::string::npos) {
+          return;
+        }
+        entries.U8(static_cast<std::uint8_t>(e.kind));
+        entries.U16(static_cast<std::uint16_t>(name.size()));
+        entries.Bytes(reinterpret_cast<const std::uint8_t*>(name.data()),
+                      name.size());
+        auto f64bits = [](double v) {
+          std::uint64_t bits;
+          std::memcpy(&bits, &v, sizeof bits);
+          return bits;
+        };
+        switch (e.kind) {
+          case obs::MetricKind::kCounter:
+            entries.U64(e.counter.value());
+            break;
+          case obs::MetricKind::kGauge:
+            entries.U64(f64bits(e.gauge.value()));
+            break;
+          case obs::MetricKind::kHistogram:
+            entries.U64(e.histogram.count());
+            entries.U64(f64bits(e.histogram.Min()));
+            entries.U64(f64bits(e.histogram.Max()));
+            entries.U64(f64bits(e.histogram.Mean()));
+            break;
+        }
+        ++count;
+      });
+      body.U16(count);
+      body.Bytes(entries.bytes().data(), entries.size());
       break;
     }
     case SrpMsg::Op::kReply:

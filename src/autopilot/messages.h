@@ -143,6 +143,7 @@ struct SrpMsg {
     kGetState = 1,     // epoch, switch number, port states
     kGetTopology = 2,  // the switch's current view of the network
     kGetLog = 3,       // tail of the reconfiguration event log
+    kGetStats = 4,     // registry metrics under this switch's name prefix
     kReply = 100,
   };
   Op op = Op::kEcho;

@@ -15,10 +15,66 @@ ReconfigEngine::ReconfigEngine(Simulator* sim, Uid self_uid,
       log_(log),
       callbacks_(std::move(callbacks)),
       pos_root_(self_uid),
-      retransmit_task_(sim, [this] { Retransmit(); }) {}
+      retransmit_task_(sim, [this] { Retransmit(); }),
+      trace_track_(log->node_name() + ".reconfig") {
+  obs::MetricRegistry& reg = sim_->metrics();
+  const std::string prefix = "switch." + log->node_name() + ".reconfig.";
+  m_epochs_joined_ = reg.GetCounter(prefix + "epochs_joined");
+  m_triggers_ = reg.GetCounter(prefix + "triggers");
+  m_completions_ = reg.GetCounter(prefix + "completions");
+  m_roots_terminated_ = reg.GetCounter(prefix + "roots_terminated");
+  m_local_updates_applied_ = reg.GetCounter(prefix + "local_updates_applied");
+  m_deltas_originated_ = reg.GetCounter(prefix + "deltas_originated");
+  m_deltas_relayed_ = reg.GetCounter(prefix + "deltas_relayed");
+  m_local_fallbacks_ = reg.GetCounter(prefix + "local_fallbacks");
+  m_messages_sent_ = reg.GetCounter(prefix + "messages_sent");
+  m_retransmissions_ = reg.GetCounter(prefix + "retransmissions");
+  m_epoch_ms_ = reg.GetHistogram("autopilot.reconfig.epoch_ms");
+}
+
+ReconfigEngine::Stats ReconfigEngine::stats() const {
+  Stats s;
+  s.epochs_joined = m_epochs_joined_->value();
+  s.triggers = m_triggers_->value();
+  s.completions = m_completions_->value();
+  s.roots_terminated = m_roots_terminated_->value();
+  s.local_updates_applied = m_local_updates_applied_->value();
+  s.deltas_originated = m_deltas_originated_->value();
+  s.deltas_relayed = m_deltas_relayed_->value();
+  s.local_fallbacks = m_local_fallbacks_->value();
+  s.messages_sent = m_messages_sent_->value();
+  s.retransmissions = m_retransmissions_->value();
+  s.last_join_time = last_join_time_;
+  s.last_config_time = last_config_time_;
+  s.last_termination_time = last_termination_time_;
+  return s;
+}
+
+void ReconfigEngine::BeginPhaseSpan(const char* phase) {
+  obs::TraceRecorder& trace = sim_->trace();
+  trace.EndSpan(phase_span_, sim_->now());
+  phase_span_ = trace.BeginSpan(trace_track_, phase, sim_->now());
+}
+
+void ReconfigEngine::EndSpans() {
+  obs::TraceRecorder& trace = sim_->trace();
+  trace.EndSpan(phase_span_, sim_->now());
+  trace.EndSpan(epoch_span_, sim_->now());
+  phase_span_ = 0;
+  epoch_span_ = 0;
+}
+
+void ReconfigEngine::Shutdown() {
+  outgoing_.clear();
+  retransmit_task_.Stop();
+  in_progress_ = false;
+  EndSpans();
+}
 
 void ReconfigEngine::Trigger(const char* reason) {
-  ++stats_.triggers;
+  m_triggers_->Increment();
+  sim_->trace().Instant(trace_track_, std::string("trigger: ") + reason,
+                        sim_->now());
   JoinEpoch(epoch_ + 1, reason);
 }
 
@@ -26,8 +82,14 @@ void ReconfigEngine::JoinEpoch(std::uint64_t epoch, const char* reason) {
   epoch_ = epoch;
   in_progress_ = true;
   config_applied_ = false;
-  ++stats_.epochs_joined;
-  stats_.last_join_time = sim_->now();
+  m_epochs_joined_->Increment();
+  last_join_time_ = sim_->now();
+  // An epoch joined while another is open means the old one was aborted;
+  // its spans end where the new epoch's begin.
+  EndSpans();
+  epoch_span_ = sim_->trace().BeginSpan(
+      trace_track_, "epoch " + std::to_string(epoch), sim_->now());
+  BeginPhaseSpan("tree");
   log_->Logf(sim_->now(), "reconfig: join epoch %llu (%s)",
              static_cast<unsigned long long>(epoch), reason);
 
@@ -80,7 +142,7 @@ void ReconfigEngine::SendAckTo(PortNum port, std::uint32_t their_seq) {
   ack.sender_uid = self_uid_;
   ack.ack_seq = their_seq;
   ack.is_parent = parent_port_ == port;
-  ++stats_.messages_sent;
+  m_messages_sent_->Increment();
   callbacks_.send(port, ack);
 }
 
@@ -92,7 +154,7 @@ void ReconfigEngine::SendReliable(PortNum port, ReconfigMsg msg) {
                                           o.msg.kind == msg.kind;
                                  }),
                   outgoing_.end());
-  ++stats_.messages_sent;
+  m_messages_sent_->Increment();
   callbacks_.send(port, msg);
   outgoing_.push_back(Outgoing{port, std::move(msg)});
   if (!retransmit_task_.running()) {
@@ -126,8 +188,8 @@ void ReconfigEngine::Retransmit() {
     return;
   }
   for (const Outgoing& o : outgoing_) {
-    ++stats_.retransmissions;
-    ++stats_.messages_sent;
+    m_retransmissions_->Increment();
+    m_messages_sent_->Increment();
     callbacks_.send(o.port, o.msg);
   }
 }
@@ -251,7 +313,7 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       ack.epoch = epoch_;
       ack.sender_uid = self_uid_;
       ack.payload_seq = msg.payload_seq;
-      ++stats_.messages_sent;
+      m_messages_sent_->Increment();
       callbacks_.send(inport, ack);
 
       std::uint64_t fp = Fingerprint(msg.records);
@@ -279,7 +341,7 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       ack.epoch = epoch_;
       ack.sender_uid = self_uid_;
       ack.payload_seq = msg.payload_seq;
-      ++stats_.messages_sent;
+      m_messages_sent_->Increment();
       callbacks_.send(inport, ack);
       if (!config_applied_) {
         Distribute(msg.records, inport);
@@ -298,7 +360,7 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       ack.epoch = epoch_;
       ack.sender_uid = self_uid_;
       ack.payload_seq = msg.payload_seq;
-      ++stats_.messages_sent;
+      m_messages_sent_->Increment();
       callbacks_.send(inport, ack);
       if (!config_applied_ || !applied_topo_.has_value()) {
         break;  // a full reconfiguration is already underway
@@ -308,7 +370,7 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       if (pos_root_ == self_uid_) {
         ApplyDeltaAsRoot(delta);
       } else {
-        ++stats_.deltas_relayed;
+        m_deltas_relayed_->Increment();
         ReconfigMsg relay = msg;
         relay.sender_uid = self_uid_;
         relay.payload_seq = ++payload_seq_;
@@ -333,11 +395,11 @@ void ReconfigEngine::OnLinkStateChange(PortNum port, bool up,
   }
   LinkDelta delta{up, self_uid_, port, neighbor_uid, neighbor_port};
   if (!DeltaIsLocalizable(delta)) {
-    ++stats_.local_fallbacks;
+    m_local_fallbacks_->Increment();
     Trigger(reason);
     return;
   }
-  ++stats_.deltas_originated;
+  m_deltas_originated_->Increment();
   log_->Logf(sim_->now(), "reconfig: local delta (%s link at port %d: %s)",
              up ? "add" : "remove", port, reason);
   SendDeltaTowardRoot(delta);
@@ -480,7 +542,7 @@ void ReconfigEngine::ApplyDeltaAsRoot(const LinkDelta& delta) {
       SendReliable(p, std::move(copy));
     }
   }
-  ++stats_.local_updates_applied;
+  m_local_updates_applied_->Increment();
   int self_index = topo.IndexOf(self_uid_);
   callbacks_.apply_config(topo, self_index, epoch_);
 }
@@ -491,7 +553,7 @@ void ReconfigEngine::ApplyMinorConfig(const ReconfigMsg& msg, PortNum from) {
   ack.epoch = epoch_;
   ack.sender_uid = self_uid_;
   ack.payload_seq = msg.payload_seq;
-  ++stats_.messages_sent;
+  m_messages_sent_->Increment();
   callbacks_.send(from, ack);
 
   if (!config_applied_ || msg.config_version <= applied_version_) {
@@ -505,7 +567,7 @@ void ReconfigEngine::ApplyMinorConfig(const ReconfigMsg& msg, PortNum from) {
   }
   applied_topo_ = topo;
   applied_version_ = msg.config_version;
-  ++stats_.local_updates_applied;
+  m_local_updates_applied_->Increment();
   log_->Logf(sim_->now(), "reconfig: minor config v%u applied",
              applied_version_);
   // Forward down the standing tree.
@@ -555,6 +617,9 @@ void ReconfigEngine::CheckStability() {
   log_->Logf(sim_->now(), "reconfig: stable, reporting %zu switches to port %d",
              msg.records.size(), parent_port_);
   SendReliable(parent_port_, std::move(msg));
+  // The tree phase is over for this switch: it now waits for the root's
+  // configuration (a changed subtree reopens the phase via re-report).
+  BeginPhaseSpan("await-config");
 }
 
 std::vector<SwitchRecord> ReconfigEngine::BuildSubtreeRecords() const {
@@ -600,8 +665,9 @@ std::uint64_t ReconfigEngine::Fingerprint(
 }
 
 void ReconfigEngine::Terminate() {
-  ++stats_.roots_terminated;
-  stats_.last_termination_time = sim_->now();
+  m_roots_terminated_->Increment();
+  last_termination_time_ = sim_->now();
+  BeginPhaseSpan("distribute");
   std::vector<SwitchRecord> records = BuildSubtreeRecords();
   NetTopology topo = RecordsToTopology(records);
   AssignSwitchNumbers(&topo);
@@ -643,8 +709,13 @@ void ReconfigEngine::Distribute(const std::vector<SwitchRecord>& records,
   }
 
   // Step 5: compute and load the local forwarding table.
-  ++stats_.completions;
-  stats_.last_config_time = sim_->now();
+  m_completions_->Increment();
+  last_config_time_ = sim_->now();
+  if (last_join_time_ >= 0) {
+    m_epoch_ms_->Add(static_cast<double>(sim_->now() - last_join_time_) /
+                     1e6);
+  }
+  EndSpans();
   callbacks_.apply_config(topo, self_index, epoch_);
 }
 

@@ -31,12 +31,15 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/autopilot/config.h"
 #include "src/autopilot/messages.h"
 #include "src/common/event_log.h"
 #include "src/common/ids.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/routing/topology.h"
 #include "src/sim/timer.h"
 
@@ -64,6 +67,10 @@ class ReconfigEngine {
         apply_config;
   };
 
+  // Snapshot of the engine's registry counters plus the raw sim-time
+  // marks, assembled on demand.  The live counters are the
+  // `switch.<name>.reconfig.*` instruments in the simulator's metric
+  // registry — visible to JSON snapshots and the SRP GetStats query.
   struct Stats {
     std::uint64_t epochs_joined = 0;
     std::uint64_t triggers = 0;
@@ -99,14 +106,10 @@ class ReconfigEngine {
   // quiescent).
   std::size_t outstanding_count() const { return outgoing_.size(); }
   // Stops retransmission (switch power-off).
-  void Shutdown() {
-    outgoing_.clear();
-    retransmit_task_.Stop();
-    in_progress_ = false;
-  }
+  void Shutdown();
   SwitchNum proposed_num() const { return proposed_num_; }
   void set_proposed_num(SwitchNum num) { proposed_num_ = num; }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
   // This switch's tree position in the current epoch (for tests).
   Uid position_root() const { return pos_root_; }
@@ -137,6 +140,11 @@ class ReconfigEngine {
   };
 
   void JoinEpoch(std::uint64_t epoch, const char* reason);
+  // Trace-span phase transitions on this engine's `<name>.reconfig` track:
+  // an outer "epoch <N>" span with one inner phase span at a time ("tree",
+  // then "await-config" or "distribute").
+  void BeginPhaseSpan(const char* phase);
+  void EndSpans();
   void ReevaluatePosition();
   void SendPositionTo(PortNum port);
   void SendAckTo(PortNum port, std::uint32_t their_seq);
@@ -195,7 +203,27 @@ class ReconfigEngine {
   std::optional<NetTopology> applied_topo_;
   std::uint32_t applied_version_ = 0;
 
-  Stats stats_;
+  // Registry instruments (owned by the simulator's registry) plus the raw
+  // sim-time marks that stats() folds into its snapshot.
+  obs::Counter* m_epochs_joined_;
+  obs::Counter* m_triggers_;
+  obs::Counter* m_completions_;
+  obs::Counter* m_roots_terminated_;
+  obs::Counter* m_local_updates_applied_;
+  obs::Counter* m_deltas_originated_;
+  obs::Counter* m_deltas_relayed_;
+  obs::Counter* m_local_fallbacks_;
+  obs::Counter* m_messages_sent_;
+  obs::Counter* m_retransmissions_;
+  Histogram* m_epoch_ms_;  // network-wide autopilot.reconfig.epoch_ms
+  Tick last_join_time_ = -1;
+  Tick last_config_time_ = -1;
+  Tick last_termination_time_ = -1;
+
+  // Trace spans for the current epoch.
+  std::string trace_track_;
+  obs::TraceRecorder::SpanId epoch_span_ = 0;
+  obs::TraceRecorder::SpanId phase_span_ = 0;
 };
 
 }  // namespace autonet

@@ -1,5 +1,7 @@
-// Simple value accumulator for latency/occupancy statistics in tests and
-// benches.  Stores samples exactly; percentile queries sort on demand.
+// Simple value accumulator for latency/occupancy statistics in tests,
+// benches, and the metric registry.  Min/Max/Mean are maintained as running
+// aggregates so they are O(1); samples are stored exactly and sorted on
+// demand only for percentile queries.
 #ifndef SRC_COMMON_HISTOGRAM_H_
 #define SRC_COMMON_HISTOGRAM_H_
 
@@ -16,30 +18,20 @@ class Histogram {
   void Add(double value) {
     samples_.push_back(value);
     sorted_ = false;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
   }
 
   std::size_t count() const { return samples_.size(); }
   bool empty() const { return samples_.empty(); }
 
-  double Min() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::min_element(samples_.begin(), samples_.end());
-  }
-  double Max() const {
-    return samples_.empty()
-               ? 0.0
-               : *std::max_element(samples_.begin(), samples_.end());
-  }
+  double Min() const { return samples_.empty() ? 0.0 : min_; }
+  double Max() const { return samples_.empty() ? 0.0 : max_; }
+  double Sum() const { return sum_; }
   double Mean() const {
-    if (samples_.empty()) {
-      return 0.0;
-    }
-    double sum = 0.0;
-    for (double s : samples_) {
-      sum += s;
-    }
-    return sum / static_cast<double>(samples_.size());
+    return samples_.empty() ? 0.0
+                            : sum_ / static_cast<double>(samples_.size());
   }
 
   // p in [0, 100].
@@ -63,12 +55,18 @@ class Histogram {
     samples_.clear();
     sorted_samples_.clear();
     sorted_ = false;
+    sum_ = 0.0;
+    min_ = std::numeric_limits<double>::infinity();
+    max_ = -std::numeric_limits<double>::infinity();
   }
 
  private:
   std::vector<double> samples_;
   mutable std::vector<double> sorted_samples_;
   mutable bool sorted_ = false;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace autonet

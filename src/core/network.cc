@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <map>
 
 #include "src/routing/spanning_tree.h"
@@ -487,6 +488,29 @@ std::vector<LogEntry> Network::MergedLog() const {
     logs.push_back(&host->log());
   }
   return EventLog::Merge(logs);
+}
+
+std::string Network::DumpMetricsJson(const std::string& prefix) const {
+  return sim_.metrics().SnapshotJson(prefix);
+}
+
+std::string Network::DumpTraceJson() const {
+  return sim_.trace().ToChromeTraceJson();
+}
+
+bool Network::WriteMetricsJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  std::string json = DumpMetricsJson();
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+bool Network::WriteTraceJson(const std::string& path) const {
+  return sim_.trace().WriteChromeTraceFile(path);
 }
 
 }  // namespace autonet

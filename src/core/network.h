@@ -115,6 +115,16 @@ class Network {
 
   std::vector<LogEntry> MergedLog() const;
 
+  // --- telemetry export ---
+  // Network-wide metric snapshot (optionally restricted by name prefix,
+  // e.g. "switch.s4.") and the Chrome-trace view of every reconfiguration
+  // span recorded so far; the Write variants put them in files that load
+  // directly in Perfetto / chrome://tracing.
+  std::string DumpMetricsJson(const std::string& prefix = "") const;
+  std::string DumpTraceJson() const;
+  bool WriteMetricsJson(const std::string& path) const;
+  bool WriteTraceJson(const std::string& path) const;
+
  private:
   void RefreshLinkMode(int cable);
   bool ControlPlaneIdle() const;

@@ -5,7 +5,12 @@
 namespace autonet {
 
 LinkUnit::LinkUnit(Switch* owner, PortNum port_num, std::size_t fifo_capacity)
-    : Port(fifo_capacity), owner_(owner), port_num_(port_num) {}
+    : Port(fifo_capacity), owner_(owner), port_num_(port_num) {
+  obs::MetricRegistry& reg = owner_->sim()->metrics();
+  const std::string prefix = "switch." + owner_->name() + ".link.";
+  m_flow_stops_ = reg.GetCounter(prefix + "flow_stops");
+  m_stop_interval_ns_ = reg.GetHistogram(prefix + "stop_interval_ns");
+}
 
 void LinkUnit::AttachLink(Link* link, Link::Side side) {
   link_ = link;
@@ -177,6 +182,18 @@ void LinkUnit::UpdateOutgoingFlow() {
   } else {
     d = fifo_.MoreThanHalfFull() ? FlowDirective::kStop
                                  : FlowDirective::kStart;
+  }
+  if (d != last_tx_directive_) {
+    Tick now = owner_->now();
+    if (d == FlowDirective::kStop) {
+      m_flow_stops_->Increment();
+      stop_began_ = now;
+    } else if (last_tx_directive_ == FlowDirective::kStop &&
+               stop_began_ >= 0) {
+      m_stop_interval_ns_->Add(static_cast<double>(now - stop_began_));
+      stop_began_ = -1;
+    }
+    last_tx_directive_ = d;
   }
   link_->SetFlowDirective(side_, d);
 }

@@ -15,6 +15,7 @@
 #include "src/fabric/port.h"
 #include "src/link/flow.h"
 #include "src/link/link.h"
+#include "src/obs/metrics.h"
 
 namespace autonet {
 
@@ -100,6 +101,14 @@ class LinkUnit final : public Port, public LinkEndpoint {
   FlowDirective last_rx_directive_ = FlowDirective::kStart;  // power-up latch
   PortStatus status_;
   Tick last_status_read_ = 0;
+
+  // Flow-control telemetry: how often and for how long this unit told its
+  // neighbour to stop.  The histogram is shared by all ports of the switch
+  // (`switch.<name>.link.stop_interval_ns`).
+  FlowDirective last_tx_directive_ = FlowDirective::kNone;
+  Tick stop_began_ = -1;
+  obs::Counter* m_flow_stops_ = nullptr;
+  Histogram* m_stop_interval_ns_ = nullptr;
 };
 
 }  // namespace autonet

@@ -91,8 +91,13 @@ void SchedulerEngine::RunCycle() {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(grant_index));
     ++grants_;
     total_wait_ns_ += sim_->now() - granted.enqueued_at;
+    if (grants_metric_ != nullptr) {
+      grants_metric_->Increment();
+    }
     PortVector ports = granted.broadcast ? granted.want : granted.reserved;
     grant_(granted, ports);
+  } else if (blocked_cycles_metric_ != nullptr) {
+    blocked_cycles_metric_->Increment();
   }
 
   // Only keep cycling while the pass achieved something; otherwise wait for

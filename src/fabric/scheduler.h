@@ -26,6 +26,7 @@
 #include "src/common/ids.h"
 #include "src/common/port_vector.h"
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace autonet {
@@ -69,6 +70,14 @@ class SchedulerEngine {
   // An output port was freed: make sure a matching cycle will run.
   void Kick();
 
+  // Registry instruments, owned by the registry; set by the owning switch.
+  // `blocked_cycles` counts engine cycles that ran with a non-empty queue
+  // but granted nothing — every request was blocked on busy crossbar slots.
+  void SetMetrics(obs::Counter* grants, obs::Counter* blocked_cycles) {
+    grants_metric_ = grants;
+    blocked_cycles_metric_ = blocked_cycles;
+  }
+
   std::uint64_t grants() const { return grants_; }
   std::size_t queue_length() const { return queue_.size(); }
   Tick total_wait_ns() const { return total_wait_ns_; }
@@ -86,6 +95,8 @@ class SchedulerEngine {
   bool cycle_scheduled_ = false;
   std::uint64_t grants_ = 0;
   Tick total_wait_ns_ = 0;
+  obs::Counter* grants_metric_ = nullptr;
+  obs::Counter* blocked_cycles_metric_ = nullptr;
 };
 
 }  // namespace autonet

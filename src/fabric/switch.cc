@@ -13,6 +13,19 @@ Switch::Switch(Simulator* sim, Uid uid, std::string name, Config config)
       log_(name_),
       sched_(sim, SchedulerEngine::Config{config.router_cycle_ns,
                                           config.fcfs_scheduler}) {
+  const std::string prefix = "switch." + name_ + ".fabric.";
+  obs::MetricRegistry& reg = sim_->metrics();
+  m_packets_forwarded_ = reg.GetCounter(prefix + "packets_forwarded");
+  m_packets_discarded_ = reg.GetCounter(prefix + "packets_discarded");
+  m_bytes_forwarded_ = reg.GetCounter(prefix + "bytes_forwarded");
+  m_table_loads_ = reg.GetCounter(prefix + "table_loads");
+  m_resets_ = reg.GetCounter(prefix + "resets");
+  sched_.SetMetrics(reg.GetCounter(prefix + "sched_grants"),
+                    reg.GetCounter(prefix + "sched_blocked_cycles"));
+  for (PortNum p = 0; p < kPortsPerSwitch; ++p) {
+    m_fifo_hwm_[p] = reg.GetGauge(prefix + "port" + std::to_string(p) +
+                                  ".fifo_hwm_bytes");
+  }
   auto cp = std::make_unique<CpPort>(this, config_.cp_fifo_capacity);
   cp_port_ = cp.get();
   ports_[kCpPort] = std::move(cp);
@@ -67,14 +80,14 @@ void Switch::SendPanic(PortNum port) { link_unit(port).SendPanicPulse(); }
 
 void Switch::LoadForwardingTable(const ForwardingTable& table) {
   table_ = table;
-  ++stats_.table_loads;
+  m_table_loads_->Increment();
   if (!config_.reset_on_table_load) {
     return;
   }
   // Loading the table resets the switch, destroying every packet in it
   // (section 7): abort all crossbar connections, flush all FIFOs, drop all
   // pending requests and staged control-processor packets.
-  ++stats_.resets;
+  m_resets_->Increment();
   sched_.Clear();
   for (PortNum p = 0; p < kPortsPerSwitch; ++p) {
     if (capture_event_[p].valid()) {
@@ -107,7 +120,18 @@ PortVector Switch::FreeOutputPorts() const {
   return free;
 }
 
+Switch::Stats Switch::stats() const {
+  Stats s;
+  s.packets_forwarded = m_packets_forwarded_->value();
+  s.packets_discarded = m_packets_discarded_->value();
+  s.bytes_forwarded = m_bytes_forwarded_->value();
+  s.table_loads = m_table_loads_->value();
+  s.resets = m_resets_->value();
+  return s;
+}
+
 void Switch::OnFifoActivity(PortNum p) {
+  m_fifo_hwm_[p]->SetMax(static_cast<double>(ports_[p]->fifo().occupancy()));
   switch (in_state_[p]) {
     case InState::kIdle:
       MaybeCapture(p);
@@ -209,10 +233,10 @@ void Switch::OnForwarderDone(PortNum inport, bool discarded,
       [&](PortNum out) { ports_[out]->set_tx_busy(false); });
   in_state_[inport] = InState::kIdle;
   if (discarded) {
-    ++stats_.packets_discarded;
+    m_packets_discarded_->Increment();
   } else {
-    ++stats_.packets_forwarded;
-    stats_.bytes_forwarded += bytes_moved;
+    m_packets_forwarded_->Increment();
+    m_bytes_forwarded_->Increment(bytes_moved);
   }
   // Keep `done` alive until we return out of its call frame.
   sched_.Kick();

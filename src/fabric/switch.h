@@ -43,6 +43,10 @@ class Switch {
     bool reset_on_table_load = true;
   };
 
+  // Snapshot of the switch's registry counters, assembled on demand.  The
+  // live values are `switch.<name>.fabric.*` counters in the simulator's
+  // metric registry, so they are also visible to JSON snapshots and the
+  // SRP GetStats query.
   struct Stats {
     std::uint64_t packets_forwarded = 0;
     std::uint64_t packets_discarded = 0;
@@ -82,7 +86,7 @@ class Switch {
   void LoadForwardingTable(const ForwardingTable& table);
   const ForwardingTable& forwarding_table() const { return table_; }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
   EventLog& log() { return log_; }
   SchedulerEngine& scheduler() { return sched_; }
 
@@ -128,7 +132,13 @@ class Switch {
   std::array<Simulator::EventId, kPortsPerSwitch> capture_event_{};
   std::array<std::unique_ptr<Forwarder>, kPortsPerSwitch> forwarders_;
 
-  Stats stats_;
+  // Registry instruments (owned by the simulator's registry).
+  obs::Counter* m_packets_forwarded_;
+  obs::Counter* m_packets_discarded_;
+  obs::Counter* m_bytes_forwarded_;
+  obs::Counter* m_table_loads_;
+  obs::Counter* m_resets_;
+  std::array<obs::Gauge*, kPortsPerSwitch> m_fifo_hwm_{};
 };
 
 }  // namespace autonet

@@ -27,7 +27,11 @@ std::optional<ArpBody> ArpBody::Parse(const std::vector<std::uint8_t>& data) {
 }
 
 LocalNet::LocalNet(Simulator* sim, Uid host_uid, std::string name)
-    : sim_(sim), uid_(host_uid), name_(std::move(name)), log_(name_) {}
+    : sim_(sim), uid_(host_uid), name_(std::move(name)), log_(name_) {
+  const std::string prefix = "host." + name_ + ".uidcache.";
+  m_cache_hit_ = sim_->metrics().GetCounter(prefix + "hit");
+  m_cache_miss_ = sim_->metrics().GetCounter(prefix + "miss");
+}
 
 void LocalNet::AttachAutonet(AutonetDriver* driver) {
   driver_ = driver;
@@ -85,6 +89,7 @@ bool LocalNet::Send(NetworkId net, Datagram datagram) {
       cache_.FindOrCreate(datagram.dest_uid, kAddrBroadcastHosts, now);
   bool fresh = now - entry.updated_at <= kArpFreshness;
   ShortAddress dest = entry.short_address;
+  (dest.IsBroadcast() ? m_cache_miss_ : m_cache_hit_)->Increment();
 
   if (dest.IsBroadcast() &&
       datagram.data.size() > kMaxBridgedData) {

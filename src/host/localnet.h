@@ -19,6 +19,7 @@
 #include "src/host/driver.h"
 #include "src/host/ethernet.h"
 #include "src/host/uid_cache.h"
+#include "src/obs/metrics.h"
 #include "src/sim/timer.h"
 
 namespace autonet {
@@ -122,6 +123,12 @@ class LocalNet {
   bool forwarding_ = false;
   BridgeConfig bridge_config_;
   Tick bridge_busy_until_[2] = {0, 0};
+
+  // UID-cache effectiveness (`host.<name>.uidcache.{hit,miss}` in the
+  // simulator's registry): a miss is a send that had to fall back to the
+  // broadcast short address because the destination UID was unknown.
+  obs::Counter* m_cache_hit_;
+  obs::Counter* m_cache_miss_;
 };
 
 // ARP body serialization (requests and replies carry the target UID; the

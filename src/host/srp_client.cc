@@ -1,5 +1,7 @@
 #include "src/host/srp_client.h"
 
+#include <cstring>
+
 #include "src/common/serialize.h"
 
 namespace autonet {
@@ -21,11 +23,13 @@ void SrpClient::OnDelivery(Delivery d) {
 
 std::optional<SrpMsg> SrpClient::Query(SrpMsg::Op op,
                                        const std::vector<std::uint8_t>& route,
-                                       Tick timeout) {
+                                       Tick timeout,
+                                       std::vector<std::uint8_t> body) {
   SrpMsg msg;
   msg.op = op;
   msg.request_id = ++next_id_;
   msg.route = route;
+  msg.body = std::move(body);
   Packet p;
   p.dest = kAddrLocalCp;
   p.type = PacketType::kSrp;
@@ -92,6 +96,56 @@ std::optional<std::string> SrpClient::GetLogTail(
 
 bool SrpClient::Echo(const std::vector<std::uint8_t>& route, Tick timeout) {
   return Query(SrpMsg::Op::kEcho, route, timeout).has_value();
+}
+
+std::optional<std::vector<SrpClient::RemoteStat>> SrpClient::GetStats(
+    const std::vector<std::uint8_t>& route, const std::string& filter,
+    Tick timeout) {
+  std::vector<std::uint8_t> body(filter.begin(), filter.end());
+  auto reply =
+      Query(SrpMsg::Op::kGetStats, route, timeout, std::move(body));
+  if (!reply.has_value()) {
+    return std::nullopt;
+  }
+  ByteReader r(reply->body);
+  auto f64 = [](std::uint64_t bits) {
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  };
+  std::uint16_t count = r.U16();
+  std::vector<RemoteStat> stats;
+  for (std::uint16_t i = 0; i < count && r.ok(); ++i) {
+    RemoteStat s;
+    s.kind = static_cast<obs::MetricKind>(r.U8());
+    std::uint16_t len = r.U16();
+    for (std::uint16_t j = 0; j < len; ++j) {
+      s.name.push_back(static_cast<char>(r.U8()));
+    }
+    switch (s.kind) {
+      case obs::MetricKind::kCounter:
+        s.counter = r.U64();
+        break;
+      case obs::MetricKind::kGauge:
+        s.gauge = f64(r.U64());
+        break;
+      case obs::MetricKind::kHistogram:
+        s.hist_count = r.U64();
+        s.hist_min = f64(r.U64());
+        s.hist_max = f64(r.U64());
+        s.hist_mean = f64(r.U64());
+        break;
+      default:
+        return std::nullopt;  // damaged reply
+    }
+    if (r.ok()) {
+      stats.push_back(std::move(s));
+    }
+  }
+  if (!r.ok()) {
+    return std::nullopt;
+  }
+  return stats;
 }
 
 std::vector<SrpClient::CrawlEntry> SrpClient::CrawlTopology(

@@ -20,6 +20,7 @@
 
 #include "src/autopilot/messages.h"
 #include "src/host/driver.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace autonet {
@@ -41,10 +42,12 @@ class SrpClient {
 
   // `route` lists the outbound port to take at each switch, starting from
   // the host's local switch; an empty route addresses the local switch.
-  // Each call runs the simulation until the reply arrives.
+  // Each call runs the simulation until the reply arrives.  `body` carries
+  // the op's argument (e.g. the GetStats name filter).
   std::optional<SrpMsg> Query(SrpMsg::Op op,
                               const std::vector<std::uint8_t>& route,
-                              Tick timeout = 5 * kSecond);
+                              Tick timeout = 5 * kSecond,
+                              std::vector<std::uint8_t> body = {});
 
   std::optional<SwitchState> GetState(const std::vector<std::uint8_t>& route,
                                       Tick timeout = 5 * kSecond);
@@ -54,6 +57,25 @@ class SrpClient {
                                         Tick timeout = 5 * kSecond);
   bool Echo(const std::vector<std::uint8_t>& route,
             Tick timeout = 5 * kSecond);
+
+  // One instrument fetched from a remote switch's registry slice.  Names
+  // are switch-local: the serving switch strips its own
+  // `switch.<name>.` prefix.  Exactly the fields for the kind are valid.
+  struct RemoteStat {
+    obs::MetricKind kind = obs::MetricKind::kCounter;
+    std::string name;
+    std::uint64_t counter = 0;
+    double gauge = 0.0;
+    std::uint64_t hist_count = 0;
+    double hist_min = 0.0;
+    double hist_max = 0.0;
+    double hist_mean = 0.0;
+  };
+  // Fetches the remote switch's metrics whose local names contain
+  // `filter` (empty fetches everything that fits in one reply packet).
+  std::optional<std::vector<RemoteStat>> GetStats(
+      const std::vector<std::uint8_t>& route, const std::string& filter = "",
+      Tick timeout = 5 * kSecond);
 
   struct CrawlEntry {
     std::vector<std::uint8_t> route;  // from the local switch

@@ -1,0 +1,82 @@
+// Minimal JSON support for the telemetry subsystem: a streaming writer with
+// automatic comma/escape handling (metric snapshots, Chrome trace events,
+// bench result files) and a small recursive-descent parser used by tests and
+// tools to validate those artifacts.  Not a general-purpose JSON library —
+// numbers are doubles, no \u escapes are produced, and inputs larger than a
+// few megabytes are not the target.
+#ifndef SRC_OBS_JSON_H_
+#define SRC_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace autonet {
+
+// Streaming JSON writer.  Begin/End calls must nest correctly; inside an
+// object every value must be preceded by Key().  Commas are inserted
+// automatically.
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  JsonWriter& Key(std::string_view name);
+  JsonWriter& String(std::string_view value);
+  JsonWriter& Number(double value);  // non-finite values serialize as null
+  JsonWriter& Int(std::int64_t value);
+  JsonWriter& UInt(std::uint64_t value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+  // Splices pre-serialized JSON (e.g. a registry snapshot) in as one value.
+  JsonWriter& Raw(std::string_view json);
+
+  const std::string& str() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void BeforeValue();
+  void Escape(std::string_view s);
+
+  std::string out_;
+  // One frame per open container: 'o'/'a', plus whether a value has been
+  // emitted at this level (comma needed) and, for objects, whether the next
+  // value is a key.
+  struct Frame {
+    char kind;
+    bool has_value = false;
+  };
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+};
+
+// Parsed JSON value (numbers are doubles).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  // Object member access; returns nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+// Returns nullopt on malformed input (including trailing garbage).
+std::optional<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace autonet
+
+#endif  // SRC_OBS_JSON_H_

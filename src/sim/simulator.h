@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace autonet {
 
@@ -57,6 +59,15 @@ class Simulator {
   std::size_t pending() const { return live_.size(); }
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Telemetry shared by every component in this simulation: a network-wide
+  // metric registry and a sim-time trace span recorder.  Hung off the
+  // simulator because every component already holds a Simulator*, including
+  // standalone single-switch test rigs that have no Network.
+  obs::MetricRegistry& metrics() { return metrics_; }
+  const obs::MetricRegistry& metrics() const { return metrics_; }
+  obs::TraceRecorder& trace() { return trace_; }
+  const obs::TraceRecorder& trace() const { return trace_; }
+
  private:
   struct Event {
     Tick when;
@@ -81,6 +92,8 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
   std::unordered_set<std::uint64_t> live_;  // seqs scheduled and not fired
+  obs::MetricRegistry metrics_;
+  obs::TraceRecorder trace_;
 };
 
 }  // namespace autonet

@@ -190,6 +190,38 @@ TEST(EventLog, MergeOrdersByTime) {
   EXPECT_EQ(merged[2].message, "third");
 }
 
+TEST(EventLog, MergeBreaksTimestampTiesBySeq) {
+  EventLog a("a");
+  EventLog b("b");
+  // All four entries share one timestamp; the global seq counter (one
+  // fetch_add per Log call, across all logs) must decide the order.
+  a.Log(500, "first");
+  b.Log(500, "second");
+  b.Log(500, "third");
+  a.Log(500, "fourth");
+  auto merged = EventLog::Merge({&b, &a});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].message, "first");
+  EXPECT_EQ(merged[1].message, "second");
+  EXPECT_EQ(merged[2].message, "third");
+  EXPECT_EQ(merged[3].message, "fourth");
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LT(merged[i - 1].seq, merged[i].seq);
+  }
+}
+
+TEST(EventLog, LogfTruncatesLongMessages) {
+  EventLog log("x");
+  std::string big(1000, 'y');
+  log.Logf(1, "head %s", big.c_str());
+  ASSERT_EQ(log.entries().size(), 1u);
+  // vsnprintf into the 512-byte stack buffer: 511 characters + NUL.
+  const std::string& msg = log.entries().front().message;
+  EXPECT_EQ(msg.size(), 511u);
+  EXPECT_EQ(msg.substr(0, 5), "head ");
+  EXPECT_EQ(msg.back(), 'y');
+}
+
 TEST(EventLog, CircularCapacity) {
   EventLog log("x", 4);
   for (int i = 0; i < 10; ++i) {

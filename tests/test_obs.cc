@@ -1,0 +1,409 @@
+// Telemetry subsystem tests: metric registry semantics, trace span
+// recording and Chrome-trace export, snapshot JSON round-trips through the
+// bundled parser, and the two end-to-end acceptance paths — a 3x3 torus
+// reconfiguration producing nested per-switch spans, and SRP GetStats
+// pulling a remote switch's counters across the fabric.
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/network.h"
+#include "src/host/srp_client.h"
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace {
+
+using obs::MetricKind;
+using obs::MetricRegistry;
+using obs::TraceRecorder;
+
+// --- registry ---
+
+TEST(MetricRegistry, RegistrationReturnsStableHandles) {
+  MetricRegistry reg;
+  obs::Counter* c = reg.GetCounter("switch.sw0.fabric.packets_forwarded");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reg.GetCounter("switch.sw0.fabric.packets_forwarded"), c);
+  EXPECT_EQ(reg.size(), 1u);
+
+  const MetricRegistry::Entry* e =
+      reg.Find("switch.sw0.fabric.packets_forwarded");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, MetricKind::kCounter);
+  EXPECT_EQ(reg.Find("no.such.metric"), nullptr);
+}
+
+TEST(MetricRegistry, KindMismatchReturnsNull) {
+  MetricRegistry reg;
+  ASSERT_NE(reg.GetCounter("x"), nullptr);
+  EXPECT_EQ(reg.GetGauge("x"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("x"), nullptr);
+  ASSERT_NE(reg.GetGauge("y"), nullptr);
+  EXPECT_EQ(reg.GetCounter("y"), nullptr);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistry, InstrumentSemantics) {
+  MetricRegistry reg;
+  obs::Counter* c = reg.GetCounter("c");
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+
+  obs::Gauge* g = reg.GetGauge("g");
+  g->Set(3.0);
+  g->Add(-1.5);
+  EXPECT_DOUBLE_EQ(g->value(), 1.5);
+  g->SetMax(9.0);
+  g->SetMax(4.0);  // high-water mark keeps the larger value
+  EXPECT_DOUBLE_EQ(g->value(), 9.0);
+
+  Histogram* h = reg.GetHistogram("h");
+  h->Add(10);
+  h->Add(30);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_DOUBLE_EQ(h->Min(), 10);
+  EXPECT_DOUBLE_EQ(h->Max(), 30);
+  EXPECT_DOUBLE_EQ(h->Mean(), 20);
+}
+
+TEST(MetricRegistry, VisitSelectsPrefixInOrder) {
+  MetricRegistry reg;
+  reg.GetCounter("switch.sw1.fabric.resets");
+  reg.GetCounter("switch.sw0.reconfig.triggers");
+  reg.GetCounter("switch.sw0.fabric.resets");
+  reg.GetCounter("host.h0.uidcache.hit");
+
+  std::vector<std::string> seen;
+  reg.Visit("switch.sw0.",
+            [&](const MetricRegistry::Entry& e) { seen.push_back(e.name); });
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "switch.sw0.fabric.resets");
+  EXPECT_EQ(seen[1], "switch.sw0.reconfig.triggers");
+
+  seen.clear();
+  reg.Visit("", [&](const MetricRegistry::Entry& e) { seen.push_back(e.name); });
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(MetricRegistry, SnapshotJsonRoundTrips) {
+  MetricRegistry reg;
+  reg.GetCounter("a.count")->Increment(3);
+  reg.GetGauge("a.level")->Set(2.5);
+  Histogram* h = reg.GetHistogram("a.lat");
+  h->Add(1);
+  h->Add(3);
+  reg.GetCounter("b.count")->Increment(7);
+
+  auto doc = ParseJson(reg.SnapshotJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("a.count"), nullptr);
+  EXPECT_DOUBLE_EQ(counters->Find("a.count")->number, 3.0);
+  EXPECT_DOUBLE_EQ(counters->Find("b.count")->number, 7.0);
+
+  const JsonValue* gauges = doc->Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("a.level")->number, 2.5);
+
+  const JsonValue* lat = doc->Find("histograms")->Find("a.lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_DOUBLE_EQ(lat->Find("count")->number, 2.0);
+  EXPECT_DOUBLE_EQ(lat->Find("min")->number, 1.0);
+  EXPECT_DOUBLE_EQ(lat->Find("max")->number, 3.0);
+  EXPECT_DOUBLE_EQ(lat->Find("mean")->number, 2.0);
+
+  // Prefix restriction selects a subtree.
+  auto sub = ParseJson(reg.SnapshotJson("a."));
+  ASSERT_TRUE(sub.has_value());
+  EXPECT_NE(sub->Find("counters")->Find("a.count"), nullptr);
+  EXPECT_EQ(sub->Find("counters")->Find("b.count"), nullptr);
+}
+
+// --- trace recorder ---
+
+TEST(TraceRecorder, SpanBeginEndPairing) {
+  TraceRecorder tr;
+  TraceRecorder::SpanId outer = tr.BeginSpan("t", "outer", 1000);
+  TraceRecorder::SpanId inner = tr.BeginSpan("t", "inner", 2000);
+  EXPECT_NE(outer, 0u);
+  EXPECT_NE(inner, 0u);
+  EXPECT_EQ(tr.open_count(), 2u);
+
+  tr.EndSpan(inner, 3000);
+  tr.EndSpan(outer, 5000);
+  EXPECT_EQ(tr.open_count(), 0u);
+
+  tr.EndSpan(0, 6000);      // invalid id: no-op by contract
+  tr.EndSpan(inner, 6000);  // double end: no-op
+  ASSERT_EQ(tr.spans().size(), 2u);
+  EXPECT_EQ(tr.spans()[0].name, "outer");
+  EXPECT_EQ(tr.spans()[0].end, 5000);
+  EXPECT_EQ(tr.spans()[1].end, 3000);
+  EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(TraceRecorder, ChromeExportShapesEvents) {
+  TraceRecorder tr;
+  TraceRecorder::SpanId outer = tr.BeginSpan("sw0.reconfig", "epoch 1", 1000);
+  TraceRecorder::SpanId inner = tr.BeginSpan("sw0.reconfig", "tree", 1000);
+  tr.EndSpan(inner, 2000);
+  tr.EndSpan(outer, 5000);
+  tr.Instant("sw0.reconfig", "trigger: boot", 500);
+  tr.BeginSpan("sw1.reconfig", "epoch 1", 1500);  // left open
+
+  auto doc = ParseJson(tr.ToChromeTraceJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<std::string, int> phases;  // ph -> count
+  std::set<std::string> tracks;
+  int outer_before_inner = -1;
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& ev = events->array[i];
+    const std::string& ph = ev.Find("ph")->str;
+    ++phases[ph];
+    if (ph == "M") {
+      tracks.insert(ev.Find("args")->Find("name")->str);
+    }
+    // Same begin tick: the longer (outer) span must be emitted first so
+    // viewers nest it around the inner one.
+    if (ph == "X" && ev.Find("name")->str == "epoch 1" &&
+        ev.Find("tid")->number == 1.0) {
+      outer_before_inner = static_cast<int>(i);
+    }
+    if (ph == "X" && ev.Find("name")->str == "tree") {
+      EXPECT_GE(outer_before_inner, 0);
+      EXPECT_DOUBLE_EQ(ev.Find("dur")->number, 1.0);  // 1000 ns = 1 us
+    }
+  }
+  EXPECT_EQ(phases["M"], 2);  // one thread_name record per track
+  EXPECT_EQ(phases["X"], 2);
+  EXPECT_EQ(phases["B"], 1);  // the still-open sw1 span
+  EXPECT_EQ(phases["i"], 1);
+  EXPECT_TRUE(tracks.count("sw0.reconfig"));
+  EXPECT_TRUE(tracks.count("sw1.reconfig"));
+}
+
+TEST(TraceRecorder, DropsPastCapacity) {
+  TraceRecorder tr(2);
+  EXPECT_NE(tr.BeginSpan("t", "a", 0), 0u);
+  EXPECT_NE(tr.BeginSpan("t", "b", 1), 0u);
+  EXPECT_EQ(tr.BeginSpan("t", "c", 2), 0u);
+  tr.Instant("t", "d", 3);
+  EXPECT_EQ(tr.spans().size(), 2u);
+  EXPECT_EQ(tr.dropped(), 2u);
+
+  tr.Clear();
+  EXPECT_EQ(tr.spans().size(), 0u);
+  EXPECT_EQ(tr.dropped(), 0u);
+  EXPECT_NE(tr.BeginSpan("t", "e", 4), 0u);
+}
+
+TEST(TraceRecorder, DisabledRecordsNothing) {
+  TraceRecorder tr;
+  tr.set_enabled(false);
+  EXPECT_EQ(tr.BeginSpan("t", "a", 0), 0u);
+  tr.Instant("t", "b", 1);
+  EXPECT_TRUE(tr.spans().empty());
+  EXPECT_EQ(tr.dropped(), 0u);  // disabled is not "dropped"
+}
+
+// --- end-to-end acceptance ---
+
+// A 3x3 torus boots, converges, then loses its spanning-tree root: every
+// surviving switch must join a fresh epoch, and the exported Chrome trace
+// must carry, for every switch, at least one span per epoch it joined, with
+// phase spans nested inside epoch spans and monotonic timestamps.
+TEST(Telemetry, TorusReconfigurationTraceSpans) {
+  Network net(MakeTorus(3, 3, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(120 * kSecond));
+  const std::uint64_t boot_epoch = net.autopilot_at(0).epoch();
+
+  // Crash the root: its disappearance can never be a localizable delta.
+  const Uid root_uid = net.autopilot_at(0).engine().position_root();
+  int root = -1;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    if (net.autopilot_at(i).uid() == root_uid) {
+      root = i;
+    }
+  }
+  ASSERT_GE(root, 0);
+  net.CrashSwitch(root);
+  ASSERT_TRUE(net.WaitForConsistency(net.sim().now() + 300 * kSecond));
+
+  const int survivor = root == 0 ? 1 : 0;
+  const std::uint64_t final_epoch = net.autopilot_at(survivor).epoch();
+  EXPECT_GT(final_epoch, boot_epoch);
+  // Converged and crashed switches alike have closed all their spans.
+  EXPECT_EQ(net.sim().trace().open_count(), 0u);
+
+  auto doc = ParseJson(net.DumpTraceJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* events = doc->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::map<int, std::string> track_of;  // tid -> track name
+  for (const JsonValue& ev : events->array) {
+    if (ev.Find("ph")->str == "M") {
+      track_of[static_cast<int>(ev.Find("tid")->number)] =
+          ev.Find("args")->Find("name")->str;
+    }
+  }
+
+  struct Ev {
+    double ts = 0;
+    double dur = 0;
+    std::string name;
+  };
+  std::map<std::string, std::vector<Ev>> per_track;
+  double last_ts = -1.0;
+  for (const JsonValue& ev : events->array) {
+    if (ev.Find("ph")->str != "X") {
+      continue;
+    }
+    Ev e;
+    e.ts = ev.Find("ts")->number;
+    e.dur = ev.Find("dur")->number;
+    e.name = ev.Find("name")->str;
+    // Events are exported in begin-time order: monotonic timestamps.
+    EXPECT_GE(e.ts, last_ts);
+    EXPECT_GE(e.dur, 0.0);
+    last_ts = e.ts;
+    per_track[track_of[static_cast<int>(ev.Find("tid")->number)]].push_back(e);
+  }
+
+  for (int i = 0; i < net.num_switches(); ++i) {
+    const std::string track = "sw" + std::to_string(i) + ".reconfig";
+    SCOPED_TRACE(track);
+    auto it = per_track.find(track);
+    ASSERT_NE(it, per_track.end());
+
+    std::set<std::string> epochs;
+    std::vector<Ev> epoch_spans;
+    std::vector<Ev> phase_spans;
+    for (const Ev& e : it->second) {
+      if (e.name.rfind("epoch ", 0) == 0) {
+        epochs.insert(e.name);
+        epoch_spans.push_back(e);
+      } else {
+        phase_spans.push_back(e);
+      }
+    }
+    // At least one span per epoch this switch joined; everyone joined the
+    // boot epoch, and every survivor joined the post-crash epoch.
+    EXPECT_TRUE(epochs.count("epoch " + std::to_string(boot_epoch)));
+    if (i != root) {
+      EXPECT_TRUE(epochs.count("epoch " + std::to_string(final_epoch)));
+    }
+    EXPECT_FALSE(phase_spans.empty());
+    // Every phase span nests inside some epoch span on its track.
+    for (const Ev& p : phase_spans) {
+      bool nested = false;
+      for (const Ev& e : epoch_spans) {
+        if (e.ts <= p.ts + 1e-9 && p.ts + p.dur <= e.ts + e.dur + 1e-9) {
+          nested = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(nested) << p.name << " at " << p.ts << " not nested";
+    }
+  }
+}
+
+// From a host on one switch, fetch another switch's reconfiguration
+// counters over SRP and check them against that switch's actual registry.
+TEST(Telemetry, SrpGetStatsFetchesRemoteCounters) {
+  Network net(MakeTorus(3, 3, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(120 * kSecond));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  SrpClient client(&net.driver_at(0));
+  auto entries = client.CrawlTopology();
+  ASSERT_FALSE(entries.empty());
+  // The BFS crawl ends at the most distant switch; it is not the local one.
+  const auto& far = entries.back();
+  ASSERT_FALSE(far.route.empty());
+
+  auto stats = client.GetStats(far.route, "reconfig.");
+  ASSERT_TRUE(stats.has_value());
+  ASSERT_FALSE(stats->empty());
+
+  // Ground truth: the remote switch's own registry entry.
+  int remote = -1;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    if (net.switch_at(i).uid() == far.state.uid) {
+      remote = i;
+    }
+  }
+  ASSERT_GE(remote, 0);
+  const std::string full_name = "switch." + net.switch_at(remote).name() +
+                                ".reconfig.epochs_joined";
+  const MetricRegistry::Entry* truth = net.sim().metrics().Find(full_name);
+  ASSERT_NE(truth, nullptr);
+
+  bool found = false;
+  for (const auto& s : *stats) {
+    EXPECT_NE(s.name.find("reconfig."), std::string::npos);
+    if (s.name == "reconfig.epochs_joined") {
+      found = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_EQ(s.counter, truth->counter.value());
+      EXPECT_GE(s.counter, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The registry view of a live network: booting a torus populates fabric,
+// link, reconfig, and host cache metrics under the documented name scheme.
+TEST(Telemetry, NetworkSnapshotCoversSubsystems) {
+  Network net(MakeTorus(3, 3, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(120 * kSecond));
+
+  auto doc = ParseJson(net.DumpMetricsJson());
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* counters = doc->Find("counters");
+  ASSERT_NE(counters, nullptr);
+
+  const JsonValue* joined =
+      counters->Find("switch.sw0.reconfig.epochs_joined");
+  ASSERT_NE(joined, nullptr);
+  EXPECT_GE(joined->number, 1.0);
+  const JsonValue* forwarded =
+      counters->Find("switch.sw0.fabric.packets_forwarded");
+  ASSERT_NE(forwarded, nullptr);
+  EXPECT_GE(forwarded->number, 1.0);
+
+  // Control traffic has exercised the FIFOs: some high-water gauge moved.
+  bool fifo_moved = false;
+  net.sim().metrics().Visit(
+      "switch.sw0.fabric.port", [&](const MetricRegistry::Entry& e) {
+        fifo_moved = fifo_moved || e.gauge.value() > 0;
+      });
+  EXPECT_TRUE(fifo_moved);
+
+  // The global epoch-duration histogram saw every completed epoch.
+  const JsonValue* epoch_ms =
+      doc->Find("histograms")->Find("autopilot.reconfig.epoch_ms");
+  ASSERT_NE(epoch_ms, nullptr);
+  EXPECT_GE(epoch_ms->Find("count")->number, 1.0);
+}
+
+}  // namespace
+}  // namespace autonet
