@@ -19,7 +19,7 @@
 namespace autonet {
 namespace {
 
-void RunFailover() {
+void RunFailover(bench::JsonReport& report) {
   // Triangle of switches so the fabric stays connected; the subject host is
   // dual-homed on switches 0 and 1; its peer lives on switch 2.
   TopoSpec spec;
@@ -99,9 +99,23 @@ void RunFailover() {
   bench::Row("  %-34s %8llu", "driver failovers",
              static_cast<unsigned long long>(
                  net.driver_at(0).stats().failovers - failovers_before));
+  report.rows().BeginObject();
+  report.rows().Key("case").String("switch_crash_failover");
+  report.rows()
+      .Key("failover_s")
+      .Number(static_cast<double>(failover_at - crash_at) / 1e9);
+  report.rows()
+      .Key("reregistration_s")
+      .Number(static_cast<double>(reregistered_at - crash_at) / 1e9);
+  report.rows()
+      .Key("outage_s")
+      .Number(static_cast<double>(longest_gap) / 1e9);
+  report.rows().Key("failovers").UInt(net.driver_at(0).stats().failovers -
+                                      failovers_before);
+  report.rows().EndObject();
 }
 
-void RunBothLinksDead() {
+void RunBothLinksDead(bench::JsonReport& report) {
   // Neither link works: the driver alternates ports every ~10 s until a
   // switch answers (section 6.8.3).
   TopoSpec spec;
@@ -130,6 +144,15 @@ void RunBothLinksDead() {
   net.WaitForHostsRegistered(repair_at + 60 * kSecond);
   bench::Row("  %-34s %8.2f s", "recovery after link repair",
              static_cast<double>(net.sim().now() - repair_at) / 1e9);
+  report.rows().BeginObject();
+  report.rows().Key("case").String("both_links_dead");
+  report.rows()
+      .Key("alternations_per_min")
+      .Number(static_cast<double>(alternations));
+  report.rows()
+      .Key("recovery_s")
+      .Number(static_cast<double>(net.sim().now() - repair_at) / 1e9);
+  report.rows().EndObject();
 }
 
 }  // namespace
@@ -138,11 +161,13 @@ void RunBothLinksDead() {
 int main() {
   using namespace autonet;
   bench::Title("E13", "host alternate-port failover (sections 3.9, 6.8.3)");
-  RunFailover();
-  RunBothLinksDead();
+  bench::JsonReport report("E13");
+  RunFailover(report);
+  RunBothLinksDead(report);
   bench::Row("\nshape check: a single switch failure never disconnects a");
   bench::Row("dual-homed host; detection takes a few seconds (driver timer");
   bench::Row("bound), and with both links dead the driver alternates ports");
   bench::Row("on the paper's ten-second cycle until a switch answers.");
+  report.Write();
   return 0;
 }

@@ -38,7 +38,7 @@ int Diameter(const NetTopology& topo) {
   return diameter;
 }
 
-void Measure(const char* shape, TopoSpec spec) {
+void Measure(bench::JsonReport& report, const char* shape, TopoSpec spec) {
   NetworkConfig config;
   config.autopilot = AutopilotConfig::Tuned();
   config.start_drivers = false;
@@ -59,6 +59,14 @@ void Measure(const char* shape, TopoSpec spec) {
   }
   bench::Row("%-10s %8d %9d %12.0f ms", shape, switches, diameter,
              bench::Ms(net.LastReconfig().Duration()));
+  report.rows().BeginObject();
+  report.rows().Key("shape").String(shape);
+  report.rows().Key("switches").Int(switches);
+  report.rows().Key("diameter").Int(diameter);
+  report.rows()
+      .Key("reconfig_ms")
+      .Number(bench::Ms(net.LastReconfig().Duration()));
+  report.rows().EndObject();
 }
 
 }  // namespace
@@ -69,22 +77,24 @@ int main() {
   bench::Title("E2", "reconfiguration time vs size and diameter (sec 6.6.5)");
   bench::Row("%-10s %8s %9s %15s", "topology", "switches", "diameter",
              "reconfig time");
+  bench::JsonReport report("E2");
   for (int n : {4, 8, 16, 24, 32}) {
-    Measure("line", MakeLine(n, 0));
+    Measure(report, "line", MakeLine(n, 0));
   }
   for (int n : {4, 8, 16, 24, 32}) {
-    Measure("ring", MakeRing(n, 0));
+    Measure(report, "ring", MakeRing(n, 0));
   }
-  Measure("torus", MakeTorus(2, 2, 0));
-  Measure("torus", MakeTorus(2, 4, 0));
-  Measure("torus", MakeTorus(4, 4, 0));
-  Measure("torus", MakeTorus(4, 6, 0));
-  Measure("torus", MakeTorus(4, 8, 0));
-  Measure("tree", MakeTree(2, 2, 0));
-  Measure("tree", MakeTree(2, 3, 0));
-  Measure("tree", MakeTree(2, 4, 0));
+  Measure(report, "torus", MakeTorus(2, 2, 0));
+  Measure(report, "torus", MakeTorus(2, 4, 0));
+  Measure(report, "torus", MakeTorus(4, 4, 0));
+  Measure(report, "torus", MakeTorus(4, 6, 0));
+  Measure(report, "torus", MakeTorus(4, 8, 0));
+  Measure(report, "tree", MakeTree(2, 2, 0));
+  Measure(report, "tree", MakeTree(2, 3, 0));
+  Measure(report, "tree", MakeTree(2, 4, 0));
   bench::Row("\nshape check: at equal switch counts, the compact torus");
   bench::Row("reconfigures faster than the long line/ring; time grows with");
   bench::Row("the maximum switch-to-switch distance, not the switch count.");
+  report.Write();
   return 0;
 }

@@ -1,0 +1,245 @@
+// Chaos campaign CLI: sweeps fault scenarios x topologies x seeds in
+// parallel, judges every run with the invariant-oracle battery, and writes a
+// JSON campaign report.  Exit status is 0 only when every oracle held in
+// every run; otherwise the violations' one-line reproducers are printed so a
+// failure anywhere reduces to a single replayable command.
+//
+//   chaosrun                          run the built-in corpus on the
+//                                     standard topology matrix, 5 seeds
+//   chaosrun --seeds 8 --jobs 4       wider sweep, bounded parallelism
+//   chaosrun --scenario link-flap --topo ring8 --seed 3
+//                                     replay one run (the reproducer form)
+//   chaosrun --corpus my.chaos        external scenario file
+//   chaosrun --report out.json        write the campaign report
+//   chaosrun --compare-jobs1          rerun single-threaded, record speedup
+//   chaosrun --list / --dump-corpus   inspect what would run
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/chaos/corpus.h"
+#include "src/chaos/runner.h"
+
+using namespace autonet;
+using namespace autonet::chaos;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --corpus FILE     scenario file (default: built-in corpus)\n"
+      "  --scenario NAME   run only this scenario (repeatable)\n"
+      "  --topo NAME       run only this topology (repeatable)\n"
+      "  --topos all       use every registered topology\n"
+      "  --seeds N         seeds 0..N-1 (default 5)\n"
+      "  --seed N          run only this seed (repeatable)\n"
+      "  --jobs N          worker threads (default: hardware concurrency)\n"
+      "  --report FILE     write the JSON campaign report\n"
+      "  --compare-jobs1   also run with 1 job and record the speedup\n"
+      "  --list            print scenarios and topologies, run nothing\n"
+      "  --dump-corpus     print the corpus text, run nothing\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_file;
+  std::vector<std::string> want_scenarios;
+  std::vector<std::string> want_topos;
+  std::vector<std::uint64_t> seeds;
+  int seed_count = 5;
+  int jobs = 0;
+  std::string report_file;
+  bool compare_jobs1 = false;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--corpus") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      corpus_file = v;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      want_scenarios.push_back(v);
+    } else if (arg == "--topo") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      want_topos.push_back(v);
+    } else if (arg == "--topos") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      if (std::strcmp(v, "all") == 0) {
+        want_topos = AllTopologyNames();
+      } else {
+        std::fprintf(stderr, "--topos only understands 'all'\n");
+        return 2;
+      }
+    } else if (arg == "--seeds") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      seed_count = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      seeds.push_back(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--jobs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      jobs = std::atoi(v);
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      report_file = v;
+    } else if (arg == "--compare-jobs1") {
+      compare_jobs1 = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--dump-corpus") {
+      std::fputs(DefaultCorpusText().c_str(), stdout);
+      return 0;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  // Load and filter the corpus.
+  std::vector<Scenario> scenarios;
+  if (corpus_file.empty()) {
+    scenarios = DefaultCorpus();
+  } else {
+    std::ifstream in(corpus_file);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", corpus_file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::string error;
+    scenarios = ParseScenarios(text.str(), &error);
+    if (scenarios.empty()) {
+      std::fprintf(stderr, "%s: %s\n", corpus_file.c_str(), error.c_str());
+      return 2;
+    }
+  }
+  if (!want_scenarios.empty()) {
+    std::vector<Scenario> kept;
+    for (const Scenario& s : scenarios) {
+      for (const std::string& want : want_scenarios) {
+        if (s.name == want) {
+          kept.push_back(s);
+          break;
+        }
+      }
+    }
+    if (kept.empty()) {
+      std::fprintf(stderr, "no scenario matched\n");
+      return 2;
+    }
+    scenarios = std::move(kept);
+  }
+
+  if (want_topos.empty()) {
+    want_topos = StandardTopologyNames();
+  }
+  std::vector<TopologyCase> topologies;
+  for (const std::string& name : want_topos) {
+    std::string error;
+    TopoSpec spec = TopologyByName(name, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+    topologies.push_back({name, std::move(spec)});
+  }
+
+  if (seeds.empty()) {
+    for (int s = 0; s < seed_count; ++s) {
+      seeds.push_back(static_cast<std::uint64_t>(s));
+    }
+  }
+
+  if (list_only) {
+    std::printf("scenarios:\n");
+    for (const Scenario& s : scenarios) {
+      std::printf("  %-24s %2zu actions, script end %s\n", s.name.c_str(),
+                  s.actions.size(), FormatTime(s.ScriptEnd()).c_str());
+    }
+    std::printf("topologies:");
+    for (const TopologyCase& t : topologies) {
+      std::printf(" %s", t.name.c_str());
+    }
+    std::printf("\nseeds: %zu, jobs: %d\n", seeds.size(), jobs);
+    return 0;
+  }
+
+  CampaignConfig config;
+  config.scenarios = std::move(scenarios);
+  config.topologies = std::move(topologies);
+  config.seeds = std::move(seeds);
+  config.jobs = jobs;
+  config.reproducer_stem = "chaosrun";
+
+  std::printf("campaign: %zu scenarios x %zu topologies x %zu seeds = %zu runs\n",
+              config.scenarios.size(), config.topologies.size(),
+              config.seeds.size(),
+              config.scenarios.size() * config.topologies.size() *
+                  config.seeds.size());
+  CampaignReport report = RunCampaign(config);
+  std::printf("ran %zu runs on %d workers in %.0f ms: %d passed, %d failed\n",
+              report.runs.size(), report.jobs, report.wall_ms, report.passed,
+              report.failed);
+
+  if (compare_jobs1) {
+    CampaignConfig single = config;
+    single.jobs = 1;
+    CampaignReport baseline = RunCampaign(single);
+    report.jobs1_wall_ms = baseline.wall_ms;
+    std::printf("jobs=1 baseline: %.0f ms (speedup %.2fx)\n", baseline.wall_ms,
+                report.wall_ms > 0 ? baseline.wall_ms / report.wall_ms : 0.0);
+  }
+
+  if (!report.reconfig_ms.empty()) {
+    std::printf("reconfig wave: p50 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+                report.reconfig_ms.Percentile(50),
+                report.reconfig_ms.Percentile(99), report.reconfig_ms.Max());
+  }
+  if (!report.converge_ms.empty()) {
+    std::printf("convergence:   p50 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+                report.converge_ms.Percentile(50),
+                report.converge_ms.Percentile(99), report.converge_ms.Max());
+  }
+
+  if (!report_file.empty()) {
+    if (!report.WriteJson(report_file)) {
+      std::fprintf(stderr, "cannot write %s\n", report_file.c_str());
+      return 2;
+    }
+    std::printf("report: %s\n", report_file.c_str());
+  }
+
+  if (!report.AllPassed()) {
+    std::printf("\nviolations:\n");
+    for (const RunResult& r : report.runs) {
+      for (const Violation& v : r.violations) {
+        std::printf("  [%s] %s\n    reproduce: %s\n", v.oracle.c_str(),
+                    v.detail.c_str(), v.reproducer.c_str());
+      }
+    }
+    return 1;
+  }
+  std::printf("all oracles green\n");
+  return 0;
+}

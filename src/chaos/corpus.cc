@@ -1,0 +1,106 @@
+#include "src/chaos/corpus.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace autonet {
+namespace chaos {
+
+// Conventions the corpus must respect:
+//
+//  * Scenarios that raise a cable's corruption rate heal it (rate 0) before
+//    the script ends.  The consistency check compares against the healthy
+//    topology, which has no notion of a marginal-but-connected cable; the
+//    skeptic may legitimately hold a flaky link out of the configuration
+//    forever.  Reflecting mode is different: it marks the cable cut, so it
+//    may persist.
+//
+//  * Fault times are topology-generic.  Numeric targets wrap modulo the
+//    domain size; `?name` picks resolve per (scenario, topology, seed), so
+//    sweeping seeds sweeps victims.
+const std::string& DefaultCorpusText() {
+  static const std::string kText = R"(# Default chaos corpus: one scenario per fault family, then compounds.
+
+# -- single cable faults ----------------------------------------------------
+
+scenario cable-cut-restore
+  at 100ms cut cable ?a
+  at 1s restore cable ?a
+
+scenario cable-cut-permanent
+  # The network must reconfigure around the missing cable and stay consistent
+  # (on a line topology this partitions the network; oracles judge each
+  # surviving component on its own).
+  at 100ms cut cable ?a
+
+scenario double-cable-cut
+  at 100ms cut cable ?a
+  at 300ms cut cable ?b
+  at 1200ms restore cable ?a
+  at 1400ms restore cable ?b
+
+# -- switch faults ----------------------------------------------------------
+
+scenario switch-crash-restart
+  at 100ms crash switch ?s
+  at 1500ms restart switch ?s
+
+scenario switch-crash-permanent
+  at 100ms crash switch ?s
+
+scenario rolling-restarts
+  at 100ms crash switch ?s
+  at 700ms restart switch ?s
+  at 1s crash switch ?t
+  at 1600ms restart switch ?t
+
+# -- marginal links (section 6.6.2 skeptic territory) -----------------------
+
+scenario link-flap
+  flap cable ?a period 150ms from 100ms until 1300ms
+
+scenario marginal-cable
+  at 100ms corrupt cable ?a rate 0.005
+  at 1s corrupt cable ?a rate 0
+
+scenario reflecting-cable
+  # Unterminated coax: side A hears its own transmissions (section 6.6.3).
+  at 100ms reflect cable ?a side a
+
+# -- host connectivity (section 3.9 dual-homing) ----------------------------
+
+scenario host-failover
+  at 100ms cut hostlink 0 primary
+  at 1500ms restore hostlink 0 primary
+
+# -- correlated multi-fault bursts ------------------------------------------
+
+scenario burst-cables
+  at 100ms burst cables 3 until 1200ms
+
+scenario burst-switches
+  at 100ms burst switches 2 until 1500ms
+
+# -- compounds --------------------------------------------------------------
+
+scenario flap-under-crash
+  flap cable ?a period 200ms from 100ms until 1100ms
+  at 300ms crash switch ?s
+  at 1300ms restart switch ?s
+)";
+  return kText;
+}
+
+std::vector<Scenario> DefaultCorpus() {
+  std::string error;
+  std::vector<Scenario> scenarios = ParseScenarios(DefaultCorpusText(), &error);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "built-in chaos corpus failed to parse: %s\n",
+                 error.c_str());
+    std::abort();
+  }
+  return scenarios;
+}
+
+}  // namespace chaos
+}  // namespace autonet

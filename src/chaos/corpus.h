@@ -1,0 +1,26 @@
+// The committed scenario corpus: the default fault-script battery that
+// chaosrun executes and CI sweeps.  Kept as source (one text constant) so
+// the corpus is versioned with the engine that interprets it; `chaosrun
+// --dump-corpus` prints it and `--corpus FILE` substitutes an external one.
+#ifndef SRC_CHAOS_CORPUS_H_
+#define SRC_CHAOS_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/chaos/scenario.h"
+
+namespace autonet {
+namespace chaos {
+
+// The corpus text, in the ParseScenarios grammar.
+const std::string& DefaultCorpusText();
+
+// The parsed corpus.  The text is committed and covered by tests, so this
+// cannot fail; it aborts if the corpus ever stops parsing.
+std::vector<Scenario> DefaultCorpus();
+
+}  // namespace chaos
+}  // namespace autonet
+
+#endif  // SRC_CHAOS_CORPUS_H_

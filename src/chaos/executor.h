@@ -1,0 +1,72 @@
+// Executes a chaos::Scenario against a live autonet::Network: resolves the
+// scenario's random/named-pick targets for one (topology, seed) run, then
+// schedules every action as a simulator event driving the Network fault API.
+//
+// Resolution is deterministic: the same (scenario, topology, seed) triple
+// always picks the same victims, which is what makes a one-line reproducer
+// (`chaosrun --scenario S --topo T --seed N`) sufficient to replay any run.
+#ifndef SRC_CHAOS_EXECUTOR_H_
+#define SRC_CHAOS_EXECUTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/scenario.h"
+#include "src/core/network.h"
+#include "src/sim/random.h"
+
+namespace autonet {
+namespace chaos {
+
+class ScenarioExecutor {
+ public:
+  // Resolves targets immediately; Schedule() arms the script so that action
+  // times are relative to `start` (typically "now", after the network has
+  // converged from boot).
+  ScenarioExecutor(Network* net, const Scenario& scenario, std::uint64_t seed);
+
+  // Schedules all actions at start + action.at.  Must be called at most
+  // once; the executor must outlive the simulation of the script.
+  void Schedule(Tick start);
+
+  // Absolute sim time after which the script takes no further action.
+  Tick script_end() const { return start_ + scenario_.ScriptEnd(); }
+
+  // Human-readable resolved actions ("t=250ms cut cable 3"), in script
+  // order.  Stable across replays of the same (scenario, topology, seed);
+  // recorded in the campaign report so a reader can see who the random
+  // picks hit.
+  const std::vector<std::string>& resolved() const { return resolved_; }
+
+ private:
+  // Domains for named picks and modulo reduction.
+  enum class Domain { kCable, kSwitch, kHost };
+
+  // Returns the resolved index, or -1 when the domain is empty.
+  int Resolve(const Action& a, Domain domain);
+  int DomainSize(Domain domain) const;
+  // `count` distinct random indices from the domain (clamped to its size).
+  std::vector<int> ResolveDistinct(int count, Domain domain);
+
+  void Describe(const Action& a, std::size_t index);
+  void Execute(const Action& a, int target);
+  void FlapStep(int cable, Tick period, Tick until, bool cut_next);
+
+  Network* net_;
+  Scenario scenario_;
+  Rng rng_;
+  Tick start_ = 0;
+  std::map<std::pair<int, std::string>, int> picks_;
+  std::vector<std::string> resolved_;
+  // Pre-resolved targets, one slot per action (bursts use the burst lists).
+  std::vector<int> targets_;
+  std::vector<std::vector<int>> burst_targets_;
+};
+
+}  // namespace chaos
+}  // namespace autonet
+
+#endif  // SRC_CHAOS_EXECUTOR_H_

@@ -1,0 +1,358 @@
+#include "src/chaos/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+
+#include "src/chaos/executor.h"
+#include "src/obs/json.h"
+
+namespace autonet {
+namespace chaos {
+
+namespace {
+
+std::uint64_t Fnv1a(std::uint64_t h, const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::uint64_t Fnv1a(std::uint64_t h, const std::string& s) {
+  return Fnv1a(h, s.data(), s.size());
+}
+
+std::uint64_t HashMergedLog(const Network& net) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const LogEntry& e : net.MergedLog()) {
+    h = Fnv1a(h, &e.time, sizeof e.time);
+    h = Fnv1a(h, e.node);
+    h = Fnv1a(h, e.message);
+  }
+  return h;
+}
+
+std::string HexU64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+double WallMsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+TopoSpec TopologyByName(const std::string& name, std::string* error) {
+  if (error != nullptr) {
+    error->clear();
+  }
+  if (name == "line6") {
+    return MakeLine(6, 1);
+  }
+  if (name == "ring8") {
+    return MakeRing(8, 1);
+  }
+  if (name == "torus3x3") {
+    return MakeTorus(3, 3, 1);
+  }
+  if (name == "torus4x4") {
+    return MakeTorus(4, 4, 1);
+  }
+  if (name == "tree2x3") {
+    return MakeTree(2, 3, 1);
+  }
+  if (name == "random12") {
+    return MakeRandom(12, 4, /*seed=*/7, 1);
+  }
+  if (name == "srclan16") {
+    return MakeSrcLan(16);
+  }
+  if (error != nullptr) {
+    *error = "unknown topology '" + name + "'";
+  }
+  return TopoSpec();
+}
+
+std::vector<std::string> StandardTopologyNames() {
+  return {"line6", "ring8", "torus3x3"};
+}
+
+std::vector<std::string> AllTopologyNames() {
+  return {"line6",   "ring8",    "torus3x3", "torus4x4",
+          "tree2x3", "random12", "srclan16"};
+}
+
+RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
+                 const TopologyCase& topo, std::uint64_t seed,
+                 obs::MetricRegistry* merge_metrics) {
+  auto t0 = std::chrono::steady_clock::now();
+  RunResult result;
+  result.scenario = scenario.name;
+  result.topology = topo.name;
+  result.seed = seed;
+
+  std::string reproducer = config.reproducer_stem + " --scenario " +
+                           scenario.name + " --topo " + topo.name +
+                           " --seed " + std::to_string(seed);
+  auto violate = [&](const std::string& oracle, const std::string& detail) {
+    result.violations.push_back({oracle, detail, reproducer});
+  };
+
+  Network net(topo.spec, config.network);
+  net.Boot();
+
+  // Bootstrap: the fault script is judged from a converged baseline, so a
+  // violation means the *script's* consequences broke an invariant rather
+  // than a cold-boot race.
+  Tick boot_deadline = config.convergence_base +
+                       config.convergence_per_hop * HealthyDiameter(net);
+  if (!net.WaitForConsistency(boot_deadline, config.quiet)) {
+    violate("bootstrap", "no consistent boot configuration by t=" +
+                             FormatTime(boot_deadline));
+    result.ok = false;
+    result.wall_ms = WallMsSince(t0);
+    return result;
+  }
+  net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond);
+
+  ScenarioExecutor executor(&net, scenario, seed);
+  Tick script_start = net.sim().now();
+  executor.Schedule(script_start);
+  if (executor.script_end() > net.sim().now()) {
+    net.Run(executor.script_end() - net.sim().now());
+  }
+  result.resolved_actions = executor.resolved();
+
+  OracleContext ctx;
+  ctx.net = &net;
+  ctx.quiet = config.quiet;
+  ctx.deadline = net.sim().now() + config.convergence_base +
+                 config.convergence_per_hop * HealthyDiameter(net);
+
+  std::vector<std::unique_ptr<Oracle>> oracles =
+      config.oracles ? config.oracles() : StandardOracles();
+  for (const auto& oracle : oracles) {
+    std::string detail = oracle->Check(ctx);
+    if (!detail.empty()) {
+      violate(oracle->name(), detail);
+    }
+  }
+
+  if (ctx.converged_at >= 0) {
+    result.converge_ms =
+        static_cast<double>(ctx.converged_at - script_start) / 1e6;
+  }
+  Tick wave = net.LastReconfig().Duration();
+  if (wave >= 0) {
+    result.reconfig_ms = static_cast<double>(wave) / 1e6;
+  }
+
+  result.log_hash = HashMergedLog(net);
+  result.metrics_hash =
+      Fnv1a(1469598103934665603ull, net.DumpMetricsJson());
+  if (merge_metrics != nullptr) {
+    merge_metrics->MergeFrom(net.sim().metrics());
+  }
+  result.ok = result.violations.empty();
+  result.wall_ms = WallMsSince(t0);
+  return result;
+}
+
+CampaignReport RunCampaign(const CampaignConfig& config) {
+  auto t0 = std::chrono::steady_clock::now();
+  CampaignReport report;
+
+  struct RunKey {
+    const Scenario* scenario;
+    const TopologyCase* topo;
+    std::uint64_t seed;
+  };
+  std::vector<RunKey> keys;
+  for (const Scenario& s : config.scenarios) {
+    for (const TopologyCase& t : config.topologies) {
+      for (std::uint64_t seed : config.seeds) {
+        keys.push_back({&s, &t, seed});
+      }
+    }
+  }
+  report.runs.resize(keys.size());
+
+  int jobs = config.jobs > 0
+                 ? config.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  jobs = std::max(1, std::min<int>(jobs, static_cast<int>(keys.size())));
+  report.jobs = jobs;
+
+  // Work-stealing over the flattened run list.  Each worker owns a metric
+  // registry; results land in distinct slots.  No locks anywhere on the run
+  // path.
+  std::atomic<std::size_t> next{0};
+  std::vector<obs::MetricRegistry> worker_metrics(jobs);
+  auto worker = [&](int w) {
+    for (;;) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= keys.size()) {
+        return;
+      }
+      const RunKey& key = keys[i];
+      report.runs[i] = RunOne(config, *key.scenario, *key.topo, key.seed,
+                              &worker_metrics[w]);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (int w = 0; w < jobs; ++w) {
+    pool.emplace_back(worker, w);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+
+  for (const obs::MetricRegistry& m : worker_metrics) {
+    report.metrics.MergeFrom(m);
+  }
+  for (const RunResult& r : report.runs) {
+    if (r.ok) {
+      ++report.passed;
+    } else {
+      ++report.failed;
+    }
+    if (r.reconfig_ms >= 0) {
+      report.reconfig_ms.Add(r.reconfig_ms);
+    }
+    if (r.converge_ms >= 0) {
+      report.converge_ms.Add(r.converge_ms);
+    }
+    report.run_wall_ms.Add(r.wall_ms);
+  }
+  report.wall_ms = WallMsSince(t0);
+  return report;
+}
+
+std::vector<std::string> CampaignReport::ReproducerLines() const {
+  std::vector<std::string> lines;
+  for (const RunResult& r : runs) {
+    for (const Violation& v : r.violations) {
+      lines.push_back(v.reproducer);
+    }
+  }
+  return lines;
+}
+
+namespace {
+
+void WriteHistogram(JsonWriter& w, const char* key, const Histogram& h) {
+  w.Key(key).BeginObject();
+  w.Key("count").UInt(h.count());
+  w.Key("min").Number(h.Min());
+  w.Key("max").Number(h.Max());
+  w.Key("mean").Number(h.Mean());
+  w.Key("p50").Number(h.Percentile(50));
+  w.Key("p99").Number(h.Percentile(99));
+  w.EndObject();
+}
+
+}  // namespace
+
+std::string CampaignReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+
+  w.Key("campaign").BeginObject();
+  w.Key("runs").UInt(runs.size());
+  w.Key("passed").Int(passed);
+  w.Key("failed").Int(failed);
+  w.Key("jobs").Int(jobs);
+  w.Key("wall_ms").Number(wall_ms);
+  if (jobs1_wall_ms >= 0) {
+    w.Key("jobs1_wall_ms").Number(jobs1_wall_ms);
+    w.Key("speedup_vs_jobs1")
+        .Number(wall_ms > 0 ? jobs1_wall_ms / wall_ms : 0.0);
+  }
+  w.EndObject();
+
+  // Violation counts per oracle, then the individual violations with their
+  // reproducer lines (the campaign's actionable output).
+  std::map<std::string, int> per_oracle;
+  for (const RunResult& r : runs) {
+    for (const Violation& v : r.violations) {
+      ++per_oracle[v.oracle];
+    }
+  }
+  w.Key("oracle_violations").BeginObject();
+  for (const auto& [oracle, count] : per_oracle) {
+    w.Key(oracle).Int(count);
+  }
+  w.EndObject();
+
+  w.Key("violations").BeginArray();
+  for (const RunResult& r : runs) {
+    for (const Violation& v : r.violations) {
+      w.BeginObject();
+      w.Key("scenario").String(r.scenario);
+      w.Key("topology").String(r.topology);
+      w.Key("seed").UInt(r.seed);
+      w.Key("oracle").String(v.oracle);
+      w.Key("detail").String(v.detail);
+      w.Key("reproducer").String(v.reproducer);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+
+  w.Key("timings").BeginObject();
+  WriteHistogram(w, "reconfig_ms", reconfig_ms);
+  WriteHistogram(w, "converge_ms", converge_ms);
+  WriteHistogram(w, "run_wall_ms", run_wall_ms);
+  w.EndObject();
+
+  w.Key("runs").BeginArray();
+  for (const RunResult& r : runs) {
+    w.BeginObject();
+    w.Key("scenario").String(r.scenario);
+    w.Key("topology").String(r.topology);
+    w.Key("seed").UInt(r.seed);
+    w.Key("ok").Bool(r.ok);
+    w.Key("converge_ms").Number(r.converge_ms);
+    w.Key("reconfig_ms").Number(r.reconfig_ms);
+    w.Key("log_hash").String(HexU64(r.log_hash));
+    w.Key("metrics_hash").String(HexU64(r.metrics_hash));
+    w.Key("wall_ms").Number(r.wall_ms);
+    w.Key("actions").BeginArray();
+    for (const std::string& a : r.resolved_actions) {
+      w.String(a);
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("metrics").Raw(metrics.SnapshotJson());
+  w.EndObject();
+  return w.Take();
+}
+
+bool CampaignReport::WriteJson(const std::string& path) const {
+  std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  ok = std::fclose(f) == 0 && ok;
+  return ok;
+}
+
+}  // namespace chaos
+}  // namespace autonet

@@ -1,0 +1,120 @@
+// The chaos campaign runner: sweeps scenarios x seeds x topologies across a
+// std::thread worker pool, one fully independent deterministic Simulator/
+// Network per run, evaluates the invariant-oracle battery at each run's
+// quiescence point, and aggregates verdicts, reconfiguration timings, and
+// merged metric snapshots into a JSON campaign report.
+//
+// Every run is a pure function of (scenario, topology, seed): a violation is
+// reported with a one-line reproducer (`chaosrun --scenario S --topo T
+// --seed N`) that replays exactly that run.  Workers accumulate into
+// worker-local registries and merge after joining, so runs never contend on
+// a lock.
+#ifndef SRC_CHAOS_RUNNER_H_
+#define SRC_CHAOS_RUNNER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/chaos/oracles.h"
+#include "src/chaos/scenario.h"
+#include "src/common/histogram.h"
+#include "src/core/network.h"
+#include "src/obs/metrics.h"
+#include "src/topo/spec.h"
+
+namespace autonet {
+namespace chaos {
+
+struct Violation {
+  std::string oracle;
+  std::string detail;
+  std::string reproducer;  // a chaosrun command line replaying this run
+};
+
+struct TopologyCase {
+  std::string name;
+  TopoSpec spec;
+};
+
+// The named topologies a reproducer line can refer to.  Unknown names leave
+// *error set.  StandardTopologyNames() is the default campaign matrix.
+TopoSpec TopologyByName(const std::string& name, std::string* error);
+std::vector<std::string> StandardTopologyNames();
+std::vector<std::string> AllTopologyNames();
+
+struct CampaignConfig {
+  std::vector<Scenario> scenarios;
+  std::vector<TopologyCase> topologies;
+  std::vector<std::uint64_t> seeds;
+  int jobs = 0;  // worker threads; 0 = hardware concurrency
+
+  // Convergence deadline per run: base + per_hop * diameter of the healthy
+  // topology, following the paper's conjecture that reconfiguration time is
+  // a function of the maximum switch-to-switch distance (section 6.6.5,
+  // cross-checked by bench E2).
+  Tick convergence_base = 30 * kSecond;
+  Tick convergence_per_hop = 2 * kSecond;
+  Tick quiet = 100 * kMillisecond;
+
+  NetworkConfig network;  // applied to every run's Network
+
+  // Oracle battery factory; default StandardOracles.  Tests substitute
+  // deliberately broken oracles here to prove violations are caught.
+  std::function<std::vector<std::unique_ptr<Oracle>>()> oracles;
+
+  // Command stem used when formatting reproducer lines.
+  std::string reproducer_stem = "chaosrun";
+};
+
+struct RunResult {
+  std::string scenario;
+  std::string topology;
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::vector<Violation> violations;
+  double converge_ms = -1;  // sim time from script start to consistency
+  double reconfig_ms = -1;  // duration of the last reconfiguration wave
+  std::uint64_t log_hash = 0;      // FNV-1a over the merged event log
+  std::uint64_t metrics_hash = 0;  // FNV-1a over the metrics JSON snapshot
+  double wall_ms = 0;              // host wall clock for this run
+  std::vector<std::string> resolved_actions;
+};
+
+struct CampaignReport {
+  std::vector<RunResult> runs;
+  int passed = 0;
+  int failed = 0;
+  int jobs = 1;
+  double wall_ms = 0;
+  // Set by the CLI when it re-runs the campaign single-threaded to record
+  // the parallel speedup in the report; negative = not measured.
+  double jobs1_wall_ms = -1;
+
+  Histogram reconfig_ms;   // per-run last-wave durations, campaign-wide
+  Histogram converge_ms;   // per-run script-to-consistency times
+  Histogram run_wall_ms;   // per-run host wall clock
+  obs::MetricRegistry metrics;  // all runs' registries, merged
+
+  bool AllPassed() const { return failed == 0; }
+  // The one-line reproducers of every violation, in run order.
+  std::vector<std::string> ReproducerLines() const;
+  std::string ToJson() const;
+  bool WriteJson(const std::string& path) const;
+};
+
+// Executes a single (scenario, topology, seed) run — the reproducer path.
+// When `merge_metrics` is non-null the run's full metric registry is merged
+// into it before the Network is torn down.
+RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
+                 const TopologyCase& topo, std::uint64_t seed,
+                 obs::MetricRegistry* merge_metrics = nullptr);
+
+CampaignReport RunCampaign(const CampaignConfig& config);
+
+}  // namespace chaos
+}  // namespace autonet
+
+#endif  // SRC_CHAOS_RUNNER_H_

@@ -1,0 +1,475 @@
+#include "src/chaos/scenario.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace autonet {
+namespace chaos {
+
+namespace {
+
+Action MakeAction(Action::Kind kind, Tick at, int target,
+                  const std::string& pick) {
+  Action a;
+  a.kind = kind;
+  a.at = at;
+  a.target = target;
+  a.pick = pick;
+  return a;
+}
+
+}  // namespace
+
+Scenario& Scenario::CutCable(Tick at, int cable, const std::string& pick) {
+  actions.push_back(MakeAction(Action::Kind::kCutCable, at, cable, pick));
+  return *this;
+}
+
+Scenario& Scenario::RestoreCable(Tick at, int cable, const std::string& pick) {
+  actions.push_back(MakeAction(Action::Kind::kRestoreCable, at, cable, pick));
+  return *this;
+}
+
+Scenario& Scenario::CrashSwitch(Tick at, int sw, const std::string& pick) {
+  actions.push_back(MakeAction(Action::Kind::kCrashSwitch, at, sw, pick));
+  return *this;
+}
+
+Scenario& Scenario::RestartSwitch(Tick at, int sw, const std::string& pick) {
+  actions.push_back(MakeAction(Action::Kind::kRestartSwitch, at, sw, pick));
+  return *this;
+}
+
+Scenario& Scenario::CutHostLink(Tick at, int host, int which) {
+  Action a = MakeAction(Action::Kind::kCutHostLink, at, host, "");
+  a.which = which;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::RestoreHostLink(Tick at, int host, int which) {
+  Action a = MakeAction(Action::Kind::kRestoreHostLink, at, host, "");
+  a.which = which;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::CorruptCable(Tick at, int cable, double rate,
+                                 const std::string& pick) {
+  Action a = MakeAction(Action::Kind::kCorruptCable, at, cable, pick);
+  a.rate = rate;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::ReflectCable(Tick at, int cable, int side,
+                                 const std::string& pick) {
+  Action a = MakeAction(Action::Kind::kReflectCable, at, cable, pick);
+  a.which = side;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::FlapCable(Tick from, Tick until, Tick period, int cable,
+                              const std::string& pick) {
+  Action a = MakeAction(Action::Kind::kFlapCable, from, cable, pick);
+  a.period = period;
+  a.until = until;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::BurstCables(Tick at, int count, Tick restore_at) {
+  Action a = MakeAction(Action::Kind::kBurstCables, at, kRandomTarget, "");
+  a.count = count;
+  a.until = restore_at;
+  actions.push_back(a);
+  return *this;
+}
+
+Scenario& Scenario::BurstSwitches(Tick at, int count, Tick restart_at) {
+  Action a = MakeAction(Action::Kind::kBurstSwitches, at, kRandomTarget, "");
+  a.count = count;
+  a.until = restart_at;
+  actions.push_back(a);
+  return *this;
+}
+
+Tick Scenario::ScriptEnd() const {
+  Tick end = 0;
+  for (const Action& a : actions) {
+    end = std::max(end, a.at);
+    if (a.kind == Action::Kind::kFlapCable ||
+        a.kind == Action::Kind::kBurstCables ||
+        a.kind == Action::Kind::kBurstSwitches) {
+      end = std::max(end, a.until);
+    }
+  }
+  return end;
+}
+
+std::string FormatTime(Tick t) {
+  auto exact = [&](Tick unit) { return t % unit == 0; };
+  char buf[32];
+  if (t != 0 && exact(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%llds",
+                  static_cast<long long>(t / kSecond));
+  } else if (t != 0 && exact(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(t / kMillisecond));
+  } else if (t != 0 && exact(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(t / kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+namespace {
+
+std::string FormatTarget(const Action& a) {
+  if (!a.pick.empty()) {
+    return "?" + a.pick;
+  }
+  return a.target == kRandomTarget ? "random" : std::to_string(a.target);
+}
+
+std::string FormatRate(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%g", rate);
+  return buf;
+}
+
+}  // namespace
+
+std::string Scenario::ToText() const {
+  std::ostringstream out;
+  out << "scenario " << name << "\n";
+  for (const Action& a : actions) {
+    out << "  ";
+    switch (a.kind) {
+      case Action::Kind::kCutCable:
+        out << "at " << FormatTime(a.at) << " cut cable " << FormatTarget(a);
+        break;
+      case Action::Kind::kRestoreCable:
+        out << "at " << FormatTime(a.at) << " restore cable "
+            << FormatTarget(a);
+        break;
+      case Action::Kind::kCrashSwitch:
+        out << "at " << FormatTime(a.at) << " crash switch "
+            << FormatTarget(a);
+        break;
+      case Action::Kind::kRestartSwitch:
+        out << "at " << FormatTime(a.at) << " restart switch "
+            << FormatTarget(a);
+        break;
+      case Action::Kind::kCutHostLink:
+        out << "at " << FormatTime(a.at) << " cut hostlink "
+            << FormatTarget(a) << (a.which == 0 ? " primary" : " alternate");
+        break;
+      case Action::Kind::kRestoreHostLink:
+        out << "at " << FormatTime(a.at) << " restore hostlink "
+            << FormatTarget(a) << (a.which == 0 ? " primary" : " alternate");
+        break;
+      case Action::Kind::kCorruptCable:
+        out << "at " << FormatTime(a.at) << " corrupt cable "
+            << FormatTarget(a) << " rate " << FormatRate(a.rate);
+        break;
+      case Action::Kind::kReflectCable:
+        out << "at " << FormatTime(a.at) << " reflect cable "
+            << FormatTarget(a) << " side " << (a.which == 0 ? "a" : "b");
+        break;
+      case Action::Kind::kFlapCable:
+        out << "flap cable " << FormatTarget(a) << " period "
+            << FormatTime(a.period) << " from " << FormatTime(a.at)
+            << " until " << FormatTime(a.until);
+        break;
+      case Action::Kind::kBurstCables:
+        out << "at " << FormatTime(a.at) << " burst cables " << a.count
+            << " until " << FormatTime(a.until);
+        break;
+      case Action::Kind::kBurstSwitches:
+        out << "at " << FormatTime(a.at) << " burst switches " << a.count;
+        if (a.until >= a.at) {
+          out << " until " << FormatTime(a.until);
+        }
+        break;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+// --- parser ---
+
+namespace {
+
+// Splits a line into whitespace-separated tokens, dropping '#' comments.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : line) {
+    if (c == '#') {
+      break;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        tokens.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    tokens.push_back(std::move(cur));
+  }
+  return tokens;
+}
+
+bool ParseTimeLiteral(const std::string& tok, Tick* out) {
+  std::size_t i = 0;
+  while (i < tok.size() &&
+         (std::isdigit(static_cast<unsigned char>(tok[i])) || tok[i] == '.')) {
+    ++i;
+  }
+  if (i == 0 || i == tok.size()) {
+    return false;
+  }
+  double value;
+  try {
+    std::size_t consumed;
+    value = std::stod(tok.substr(0, i), &consumed);
+    if (consumed != i) {
+      return false;
+    }
+  } catch (...) {
+    return false;
+  }
+  std::string unit = tok.substr(i);
+  double scale;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = kMicrosecond;
+  } else if (unit == "ms") {
+    scale = kMillisecond;
+  } else if (unit == "s") {
+    scale = kSecond;
+  } else {
+    return false;
+  }
+  *out = static_cast<Tick>(std::llround(value * scale));
+  return true;
+}
+
+// `random`, `?name`, or a non-negative index.
+bool ParseTarget(const std::string& tok, int* target, std::string* pick) {
+  *target = kRandomTarget;
+  pick->clear();
+  if (tok == "random") {
+    return true;
+  }
+  if (tok.size() > 1 && tok[0] == '?') {
+    *pick = tok.substr(1);
+    return true;
+  }
+  try {
+    std::size_t consumed;
+    int v = std::stoi(tok, &consumed);
+    if (consumed != tok.size() || v < 0) {
+      return false;
+    }
+    *target = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::vector<Scenario> ParseScenarios(const std::string& text,
+                                     std::string* error) {
+  std::vector<Scenario> scenarios;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line_no) + ": " + why;
+    }
+    return std::vector<Scenario>();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> t = Tokenize(line);
+    if (t.empty()) {
+      continue;
+    }
+    if (t[0] == "scenario") {
+      if (t.size() != 2) {
+        return fail("expected: scenario <name>");
+      }
+      scenarios.push_back(Scenario{t[1], {}});
+      continue;
+    }
+    if (scenarios.empty()) {
+      return fail("statement before any 'scenario' header");
+    }
+    Scenario& s = scenarios.back();
+
+    if (t[0] == "flap") {
+      // flap cable <target> period <time> from <time> until <time>
+      Action a;
+      a.kind = Action::Kind::kFlapCable;
+      if (t.size() != 9 || t[1] != "cable" || t[3] != "period" ||
+          t[5] != "from" || t[7] != "until" ||
+          !ParseTarget(t[2], &a.target, &a.pick) ||
+          !ParseTimeLiteral(t[4], &a.period) ||
+          !ParseTimeLiteral(t[6], &a.at) ||
+          !ParseTimeLiteral(t[8], &a.until)) {
+        return fail(
+            "expected: flap cable <target> period <t> from <t> until <t>");
+      }
+      if (a.period <= 0) {
+        return fail("flap period must be positive");
+      }
+      s.actions.push_back(a);
+      continue;
+    }
+
+    if (t[0] != "at" || t.size() < 3) {
+      return fail("expected: at <time> <action> ...");
+    }
+    Tick at;
+    if (!ParseTimeLiteral(t[1], &at)) {
+      return fail("bad time literal '" + t[1] + "'");
+    }
+    const std::string& verb = t[2];
+
+    if ((verb == "cut" || verb == "restore") && t.size() >= 4 &&
+        t[3] == "cable") {
+      Action a;
+      a.kind = verb == "cut" ? Action::Kind::kCutCable
+                             : Action::Kind::kRestoreCable;
+      a.at = at;
+      if (t.size() != 5 || !ParseTarget(t[4], &a.target, &a.pick)) {
+        return fail("expected: at <time> " + verb + " cable <target>");
+      }
+      s.actions.push_back(a);
+    } else if ((verb == "crash" || verb == "restart") && t.size() == 5 &&
+               t[3] == "switch") {
+      Action a;
+      a.kind = verb == "crash" ? Action::Kind::kCrashSwitch
+                               : Action::Kind::kRestartSwitch;
+      a.at = at;
+      if (!ParseTarget(t[4], &a.target, &a.pick)) {
+        return fail("bad switch target '" + t[4] + "'");
+      }
+      s.actions.push_back(a);
+    } else if ((verb == "cut" || verb == "restore") && t.size() == 6 &&
+               t[3] == "hostlink") {
+      Action a;
+      a.kind = verb == "cut" ? Action::Kind::kCutHostLink
+                             : Action::Kind::kRestoreHostLink;
+      a.at = at;
+      if (!ParseTarget(t[4], &a.target, &a.pick)) {
+        return fail("bad host target '" + t[4] + "'");
+      }
+      if (t[5] == "primary") {
+        a.which = 0;
+      } else if (t[5] == "alternate") {
+        a.which = 1;
+      } else {
+        return fail("expected 'primary' or 'alternate'");
+      }
+      s.actions.push_back(a);
+    } else if (verb == "corrupt" && t.size() == 7 && t[3] == "cable" &&
+               t[5] == "rate") {
+      Action a;
+      a.kind = Action::Kind::kCorruptCable;
+      a.at = at;
+      if (!ParseTarget(t[4], &a.target, &a.pick)) {
+        return fail("bad cable target '" + t[4] + "'");
+      }
+      try {
+        a.rate = std::stod(t[6]);
+      } catch (...) {
+        return fail("bad corruption rate '" + t[6] + "'");
+      }
+      if (a.rate < 0.0 || a.rate > 1.0) {
+        return fail("corruption rate must be in [0, 1]");
+      }
+      s.actions.push_back(a);
+    } else if (verb == "reflect" && t.size() == 7 && t[3] == "cable" &&
+               t[5] == "side") {
+      Action a;
+      a.kind = Action::Kind::kReflectCable;
+      a.at = at;
+      if (!ParseTarget(t[4], &a.target, &a.pick)) {
+        return fail("bad cable target '" + t[4] + "'");
+      }
+      if (t[6] == "a") {
+        a.which = 0;
+      } else if (t[6] == "b") {
+        a.which = 1;
+      } else {
+        return fail("expected side 'a' or 'b'");
+      }
+      s.actions.push_back(a);
+    } else if (verb == "burst" && t.size() >= 5 && t[3] == "cables") {
+      Action a;
+      a.kind = Action::Kind::kBurstCables;
+      a.at = at;
+      if (t.size() != 7 || t[5] != "until" ||
+          !ParseTimeLiteral(t[6], &a.until)) {
+        return fail("expected: at <time> burst cables <count> until <time>");
+      }
+      try {
+        a.count = std::stoi(t[4]);
+      } catch (...) {
+        return fail("bad burst count '" + t[4] + "'");
+      }
+      if (a.count < 1) {
+        return fail("burst count must be >= 1");
+      }
+      s.actions.push_back(a);
+    } else if (verb == "burst" && t.size() >= 5 && t[3] == "switches") {
+      Action a;
+      a.kind = Action::Kind::kBurstSwitches;
+      a.at = at;
+      a.until = -1;  // never restart by default
+      if (t.size() == 7 && t[5] == "until") {
+        if (!ParseTimeLiteral(t[6], &a.until)) {
+          return fail("bad time literal '" + t[6] + "'");
+        }
+      } else if (t.size() != 5) {
+        return fail(
+            "expected: at <time> burst switches <count> [until <time>]");
+      }
+      try {
+        a.count = std::stoi(t[4]);
+      } catch (...) {
+        return fail("bad burst count '" + t[4] + "'");
+      }
+      if (a.count < 1) {
+        return fail("burst count must be >= 1");
+      }
+      s.actions.push_back(a);
+    } else {
+      return fail("unrecognized action '" + verb + "'");
+    }
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  return scenarios;
+}
+
+}  // namespace chaos
+}  // namespace autonet

@@ -51,6 +51,19 @@ class Histogram {
     return sorted_samples_[lo] * (1.0 - frac) + sorted_samples_[hi] * frac;
   }
 
+  // Folds another histogram's samples into this one (exact: the merged
+  // percentile queries see every individual sample).  Used by the chaos
+  // campaign runner to aggregate per-worker accumulations after the workers
+  // join, so nothing on a hot path ever locks.
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
   void Clear() {
     samples_.clear();
     sorted_samples_.clear();

@@ -21,6 +21,7 @@ Network::Network(TopoSpec spec, NetworkConfig config)
   const int nh = static_cast<int>(spec_.hosts.size());
   alive_.assign(ns, true);
   cable_cut_.assign(spec_.cables.size(), false);
+  cable_corruption_.assign(spec_.cables.size(), 0.0);
   host_link_cut_.assign(nh, {false, false});
   inboxes_.resize(nh);
 
@@ -358,6 +359,18 @@ void Network::SetCableReflecting(int cable, Link::Side powered_side) {
   cable_cut_[cable] = true;  // treated as faulty until restored
   cables_[cable]->SetMode(powered_side == Link::Side::kA ? LinkMode::kReflectA
                                                          : LinkMode::kReflectB);
+}
+
+void Network::SetCableCorruptionRate(int cable, double per_byte_probability) {
+  cable_corruption_[cable] = per_byte_probability;
+  cables_[cable]->SetCorruptionRate(per_byte_probability);
+}
+
+void Network::SetHostLinkCorruptionRate(int host, int which,
+                                        double per_byte_probability) {
+  if (host_links_[host][which] != nullptr) {
+    host_links_[host][which]->SetCorruptionRate(per_byte_probability);
+  }
 }
 
 void Network::CutHostLink(int host, int which) {

@@ -85,8 +85,18 @@ class Network {
   void CutCable(int cable);
   void RestoreCable(int cable);
   void SetCableReflecting(int cable, Link::Side powered_side);
+  // Marginal-link model: probability that any individual byte transmitted on
+  // the cable is damaged in flight (surfaces as CRC failures / BadCode at
+  // the receiver).  Rate 0 heals the link.
+  void SetCableCorruptionRate(int cable, double per_byte_probability);
+  double cable_corruption_rate(int cable) const {
+    return cable_corruption_[cable];
+  }
   void CutHostLink(int host, int which);
   void RestoreHostLink(int host, int which);
+  // Marginal host link (which: 0 primary, 1 alternate).
+  void SetHostLinkCorruptionRate(int host, int which,
+                                 double per_byte_probability);
   void CrashSwitch(int i);
   void RestartSwitch(int i);
   bool switch_alive(int i) const { return alive_[i]; }
@@ -145,6 +155,7 @@ class Network {
 
   std::vector<bool> alive_;
   std::vector<bool> cable_cut_;
+  std::vector<double> cable_corruption_;
   std::vector<std::array<bool, 2>> host_link_cut_;
   std::vector<std::vector<Delivery>> inboxes_;
 };

@@ -51,6 +51,26 @@ void MetricRegistry::Visit(
   }
 }
 
+void MetricRegistry::MergeFrom(const MetricRegistry& other) {
+  for (const auto& [name, entry] : other.entries_) {
+    Entry* mine = GetOrCreate(name, entry->kind);
+    if (mine == nullptr) {
+      continue;  // kind mismatch: skip rather than silently alias
+    }
+    switch (entry->kind) {
+      case MetricKind::kCounter:
+        mine->counter.Increment(entry->counter.value());
+        break;
+      case MetricKind::kGauge:
+        mine->gauge.SetMax(entry->gauge.value());
+        break;
+      case MetricKind::kHistogram:
+        mine->histogram.Merge(entry->histogram);
+        break;
+    }
+  }
+}
+
 std::string MetricRegistry::SnapshotJson(const std::string& prefix) const {
   JsonWriter w;
   w.BeginObject();

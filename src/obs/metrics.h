@@ -81,6 +81,15 @@ class MetricRegistry {
   // max, mean, sum, p50, p99}}}, restricted to names under `prefix`.
   std::string SnapshotJson(const std::string& prefix = "") const;
 
+  // Folds another registry's instruments into this one by name: counters
+  // add, gauges keep the maximum observed level (high-water semantics — the
+  // only aggregation that is meaningful across independent runs), and
+  // histograms merge sample-exactly.  Same-name entries of a different kind
+  // are skipped (the mismatch is the caller's bug, as in GetCounter).  This
+  // is how the campaign runner folds per-worker snapshot registries into
+  // one campaign-wide view after the workers join.
+  void MergeFrom(const MetricRegistry& other);
+
  private:
   Entry* GetOrCreate(const std::string& name, MetricKind kind);
 

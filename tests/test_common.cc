@@ -251,6 +251,34 @@ TEST(Histogram, Percentiles) {
   EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
 }
 
+TEST(Histogram, MergeIsSampleExact) {
+  Histogram a;
+  Histogram b;
+  Histogram all;
+  for (int i = 1; i <= 50; ++i) {
+    a.Add(i);
+    all.Add(i);
+  }
+  for (int i = 51; i <= 100; ++i) {
+    b.Add(i);
+    all.Add(i);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.Min(), all.Min());
+  EXPECT_DOUBLE_EQ(a.Max(), all.Max());
+  EXPECT_DOUBLE_EQ(a.Sum(), all.Sum());
+  EXPECT_DOUBLE_EQ(a.Percentile(50), all.Percentile(50));
+  EXPECT_DOUBLE_EQ(a.Percentile(99), all.Percentile(99));
+
+  Histogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 100u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 100u);
+  EXPECT_DOUBLE_EQ(empty.Min(), 1);
+}
+
 TEST(Time, PropagationDelayMatchesPaperFormula) {
   // W = 64.1 slots/km: a 2 km link is 128.2 slots one way (section 6.2).
   EXPECT_EQ(PropagationDelayNs(2.0), static_cast<Tick>(128.2 * 80));

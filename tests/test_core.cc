@@ -141,6 +141,30 @@ TEST(Network, DeterministicAcrossRuns) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(Network, CableCorruptionRateDropsAndHealsTheLink) {
+  Network net(MakeRing(4, 1));
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(kDeadline));
+  EXPECT_EQ(net.cable_corruption_rate(0), 0.0);
+
+  // Every byte damaged: the monitor must throw the link out of service.
+  net.SetCableCorruptionRate(0, 1.0);
+  EXPECT_EQ(net.cable_corruption_rate(0), 1.0);
+  net.Run(2 * kSecond);
+  const TopoSpec::CableSpec& cs = net.spec().cables[0];
+  EXPECT_FALSE(
+      net.autopilot_at(cs.sw_a).port_state(cs.port_a) ==
+          PortState::kSwitchGood &&
+      net.autopilot_at(cs.sw_b).port_state(cs.port_b) ==
+          PortState::kSwitchGood);
+
+  // Healed: once the skeptic's hold-down is served the full ring is
+  // consistent again (CheckConsistency compares against the healthy
+  // topology, which includes cable 0).
+  net.SetCableCorruptionRate(0, 0.0);
+  EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + 180 * kSecond));
+}
+
 TEST(Network, ConsistencyRejectsTamperedTable) {
   Network net(MakeLine(2, 1));
   net.Boot();

@@ -94,6 +94,30 @@ TEST(MetricRegistry, VisitSelectsPrefixInOrder) {
   EXPECT_EQ(seen.size(), 4u);
 }
 
+TEST(MetricRegistry, MergeFromFoldsByKind) {
+  MetricRegistry a;
+  a.GetCounter("packets")->Increment(10);
+  a.GetGauge("fifo_hwm")->SetMax(5.0);
+  a.GetHistogram("latency")->Add(1.0);
+  a.GetCounter("only_in_a")->Increment(1);
+
+  MetricRegistry b;
+  b.GetCounter("packets")->Increment(32);
+  b.GetGauge("fifo_hwm")->SetMax(9.0);
+  b.GetHistogram("latency")->Add(3.0);
+  b.GetHistogram("only_in_b")->Add(7.0);
+  // Same name, different kind: must not alias into a's counter.
+  b.GetGauge("only_in_a")->Set(99.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.GetCounter("packets")->value(), 42u);          // counters add
+  EXPECT_DOUBLE_EQ(a.GetGauge("fifo_hwm")->value(), 9.0);    // high water
+  EXPECT_EQ(a.GetHistogram("latency")->count(), 2u);         // sample-exact
+  EXPECT_DOUBLE_EQ(a.GetHistogram("latency")->Max(), 3.0);
+  EXPECT_EQ(a.GetHistogram("only_in_b")->count(), 1u);       // created
+  EXPECT_EQ(a.GetCounter("only_in_a")->value(), 1u);         // kind mismatch
+}
+
 TEST(MetricRegistry, SnapshotJsonRoundTrips) {
   MetricRegistry reg;
   reg.GetCounter("a.count")->Increment(3);
