@@ -10,7 +10,13 @@ Forwarder::Forwarder(Switch* owner, PortNum inport, PortVector outports,
     : owner_(owner),
       inport_(inport),
       outports_(outports),
-      broadcast_(broadcast) {}
+      broadcast_(broadcast) {
+  outputs_allow_ = OutputsAllowTransmit();
+  in_port_ = &owner_->port(inport_);
+  if (outports_.Count() == 1 && outports_.Lowest() >= kFirstExternalPort) {
+    fast_out_ = &owner_->link_unit(outports_.Lowest());
+  }
+}
 
 Forwarder::~Forwarder() {
   if (pump_event_.valid()) {
@@ -37,49 +43,53 @@ bool Forwarder::StalledByFlowControl() const {
   if (!begun_) {
     // Transmission must begin under a start (or host) directive on every
     // chosen output port.
-    return !OutputsAllowTransmit();
+    return !outputs_allow_;
   }
   if (broadcast_ && owner_->config().broadcast_ignores_stop) {
     return false;  // section 6.6.6 fix: ignore stop until end of packet
   }
-  return !OutputsAllowTransmit();
+  return !outputs_allow_;
 }
 
 void Forwarder::SchedulePump() {
   if (pump_event_.valid() || finished_) {
     return;
   }
+  // One train per streaming burst: each PumpStep re-anchors the single
+  // queue entry at the next data slot (flow slots make the grid non-
+  // arithmetic, so the handler steers every step) and ends the train when
+  // the forwarder parks.
   Tick when = NextDataSlotAfter(owner_->now());
-  pump_event_ = owner_->sim()->ScheduleAt(when, [this] {
-    pump_event_ = {};
-    Pump();
-  });
-}
-
-void Forwarder::OnFifoActivity() {
-  if (!finished_) {
-    SchedulePump();
-  }
+  pump_event_ = owner_->sim()->ScheduleTrainRawAt(
+      when, 0,
+      [](void* self, std::uint64_t, std::uint32_t) {
+        return static_cast<Forwarder*>(self)->PumpStep();
+      },
+      this, 0);
 }
 
 void Forwarder::OnThrottleChange() {
+  outputs_allow_ = OutputsAllowTransmit();
   if (!finished_ && !StalledByFlowControl()) {
     SchedulePump();
   }
 }
 
-void Forwarder::Pump() {
+Simulator::TrainStep Forwarder::PumpStep() {
   if (finished_) {
-    return;
+    pump_event_ = {};
+    return Simulator::TrainStep::Done();
   }
   if (StalledByFlowControl()) {
-    return;  // resume on OnThrottleChange
+    pump_event_ = {};
+    return Simulator::TrainStep::Done();  // resume on OnThrottleChange
   }
   if (!begun_) {
     // Transmit the begin command (one slot), then stream bytes.
-    PortFifo& fifo = owner_->port(inport_).fifo();
+    PortFifo& fifo = in_port_->fifo();
     if (!fifo.HasHead()) {
-      return;  // reset raced us; owner will clean up
+      pump_event_ = {};
+      return Simulator::TrainStep::Done();  // reset raced us; owner cleans up
     }
     const PacketRef& packet = fifo.head().packet;
     if (outports_.Test(kCpPort)) {
@@ -89,28 +99,35 @@ void Forwarder::Pump() {
         [&](PortNum p) { owner_->port(p).SendBegin(packet); });
     begun_ = true;
     bytes_moved_ = 0;
-    SchedulePump();
-    return;
+    return Simulator::TrainStep::At(NextDataSlotAfter(owner_->now()));
   }
-  PortFifo& fifo = owner_->port(inport_).fifo();
+  PortFifo& fifo = in_port_->fifo();
   if (auto offset = fifo.PopByte()) {
     const PacketRef& packet = fifo.head().packet;
-    outports_.ForEach(
-        [&](PortNum p) { owner_->port(p).SendByte(packet, *offset); });
+    if (fast_out_ != nullptr) {
+      fast_out_->SendByte(packet, *offset);
+    } else {
+      outports_.ForEach(
+          [&](PortNum p) { owner_->port(p).SendByte(packet, *offset); });
+    }
     ++bytes_moved_;
     owner_->AfterFifoPop(inport_);
-    SchedulePump();
-    return;
+    return Simulator::TrainStep::At(NextDataSlotAfter(owner_->now()));
   }
   if (auto end = fifo.TryPopEnd()) {
     owner_->AfterFifoPop(inport_);
+    pump_event_ = {};
+    // Finish's last action destroys this forwarder (OnForwarderDone), so
+    // nothing below may touch members.
     Finish(*end);
-    return;
+    return Simulator::TrainStep::Done();
   }
   // Mid-packet with nothing buffered: the upstream transmitter has been
   // stopped somewhere behind us.  The Underflow status condition.
   owner_->port(inport_).RecordUnderflow();
+  pump_event_ = {};
   // Resume when bytes arrive (OnFifoActivity).
+  return Simulator::TrainStep::Done();
 }
 
 void Forwarder::Finish(EndFlags flags) {

@@ -25,6 +25,9 @@
 
 namespace autonet {
 
+class LinkUnit;
+class Port;
+class PortFifo;
 class Switch;
 
 class Forwarder {
@@ -38,8 +41,13 @@ class Forwarder {
 
   void Start();
 
-  // New symbols arrived in the input FIFO.
-  void OnFifoActivity();
+  // New symbols arrived in the input FIFO.  Inline: called once per
+  // received byte; while the pump train is scheduled this is one compare.
+  void OnFifoActivity() {
+    if (!finished_ && !pump_event_.valid()) {
+      SchedulePump();
+    }
+  }
   // An output port's flow-control gate changed.
   void OnThrottleChange();
   // Switch reset: terminate, transmitting a truncated end if mid-packet.
@@ -55,16 +63,32 @@ class Forwarder {
   bool OutputsAllowTransmit() const;
   bool StalledByFlowControl() const;
   void SchedulePump();
-  void Pump();
+  Simulator::TrainStep PumpStep();
   void Finish(EndFlags flags);
 
   Switch* owner_;
   PortNum inport_;
   PortVector outports_;
   bool broadcast_;
+  // Hot-path caches, valid for the forwarder's whole life (ports are owned
+  // by the switch and outlive every forwarder).  `in_port_` skips the
+  // per-byte unique_ptr deref; `fast_out_` is the single external output
+  // port of a unicast forwarder (nullptr otherwise), letting the byte pump
+  // call the final LinkUnit::SendByte directly instead of iterating the
+  // port vector through a virtual call.
+  Port* in_port_ = nullptr;
+  LinkUnit* fast_out_ = nullptr;
+  // Cached OutputsAllowTransmit(): the flow gate is queried once per pumped
+  // byte but changes only when a port's received directive flips, which the
+  // switch signals via OnThrottleChange.  (CpPort's gate is constant, so
+  // directive flips are the only invalidation source.)
+  bool outputs_allow_ = false;
   bool begun_ = false;       // begin command sent
   bool finished_ = false;
   std::size_t bytes_moved_ = 0;
+  // The pump train: one queue entry that re-anchors itself data slot by
+  // data slot while the forwarder is streaming, and ends (TrainStep::Done)
+  // when the forwarder parks waiting for bytes or a throttle change.
   Simulator::EventId pump_event_;
 };
 

@@ -81,12 +81,6 @@ void LinkUnit::SendBegin(const PacketRef& packet) {
   }
 }
 
-void LinkUnit::SendByte(const PacketRef& packet, std::uint32_t offset) {
-  if (link_ != nullptr) {
-    link_->TransmitByte(side_, packet, offset);
-  }
-}
-
 void LinkUnit::SendEnd(EndFlags flags) {
   tx_in_packet_ = false;
   if (link_ != nullptr) {
@@ -172,30 +166,16 @@ void LinkUnit::OnCarrierChange(bool carrier_up) {
   }
 }
 
-void LinkUnit::UpdateOutgoingFlow() {
-  if (link_ == nullptr) {
-    return;
+void LinkUnit::NoteDirectiveTransition(FlowDirective d) {
+  Tick now = owner_->now();
+  if (d == FlowDirective::kStop) {
+    m_flow_stops_->Increment();
+    stop_began_ = now;
+  } else if (last_tx_directive_ == FlowDirective::kStop && stop_began_ >= 0) {
+    m_stop_interval_ns_->Add(static_cast<double>(now - stop_began_));
+    stop_began_ = -1;
   }
-  FlowDirective d;
-  if (force_idhy_) {
-    d = FlowDirective::kIdhy;
-  } else {
-    d = fifo_.MoreThanHalfFull() ? FlowDirective::kStop
-                                 : FlowDirective::kStart;
-  }
-  if (d != last_tx_directive_) {
-    Tick now = owner_->now();
-    if (d == FlowDirective::kStop) {
-      m_flow_stops_->Increment();
-      stop_began_ = now;
-    } else if (last_tx_directive_ == FlowDirective::kStop &&
-               stop_began_ >= 0) {
-      m_stop_interval_ns_->Add(static_cast<double>(now - stop_began_));
-      stop_began_ = -1;
-    }
-    last_tx_directive_ = d;
-  }
-  link_->SetFlowDirective(side_, d);
+  last_tx_directive_ = d;
 }
 
 void LinkUnit::ResetReceiveSide() {

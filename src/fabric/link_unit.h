@@ -44,7 +44,11 @@ struct PortStatus {
   std::uint64_t bytes_forwarded = 0;  // progress out of the receive FIFO
 };
 
-class LinkUnit final : public Port, public LinkEndpoint {
+// LinkEndpoint is deliberately the primary base: the receive path (one
+// virtual call per delivered byte) dispatches through LinkEndpoint, so
+// keeping it at offset zero makes those calls thunk-free; the Port virtuals
+// (begin/end per packet, gated queries) absorb the this-adjustment instead.
+class LinkUnit final : public LinkEndpoint, public Port {
  public:
   LinkUnit(Switch* owner, PortNum port_num, std::size_t fifo_capacity);
 
@@ -67,7 +71,14 @@ class LinkUnit final : public Port, public LinkEndpoint {
   // --- Port (output side, driven by the forwarder) ---
   bool CanTransmitNow() const override;
   void SendBegin(const PacketRef& packet) override;
-  void SendByte(const PacketRef& packet, std::uint32_t offset) override;
+  // Inline: runs once per forwarded byte; the forwarder's single-output
+  // fast path calls it directly (LinkUnit is final), so the whole
+  // byte-transmit chain down to Link::PushFlit compiles as one unit.
+  void SendByte(const PacketRef& packet, std::uint32_t offset) override {
+    if (link_ != nullptr) {
+      link_->TransmitByte(side_, packet, offset);
+    }
+  }
   void SendEnd(EndFlags flags) override;
   void RecordUnderflow() override { ++status_.underflow; }
 
@@ -81,8 +92,25 @@ class LinkUnit final : public Port, public LinkEndpoint {
   void OnCodeViolation() override { ++status_.bad_code; }
 
   // Recomputes and latches the outgoing flow directive (start/stop/idhy).
-  // Called after FIFO occupancy changes and mode changes.
-  void UpdateOutgoingFlow();
+  // Called after FIFO occupancy changes and mode changes — once per
+  // forwarded byte, so the no-transition case is inline and the telemetry
+  // bookkeeping lives out of line.
+  void UpdateOutgoingFlow() {
+    if (link_ == nullptr) {
+      return;
+    }
+    FlowDirective d;
+    if (force_idhy_) {
+      d = FlowDirective::kIdhy;
+    } else {
+      d = fifo_.MoreThanHalfFull() ? FlowDirective::kStop
+                                   : FlowDirective::kStart;
+    }
+    if (d != last_tx_directive_) {
+      NoteDirectiveTransition(d);
+    }
+    link_->SetFlowDirective(side_, d);
+  }
 
   // Hard reset of the receive side (panic handling): clears the FIFO and
   // abandons any packet being forwarded from it.
@@ -91,6 +119,10 @@ class LinkUnit final : public Port, public LinkEndpoint {
   void NoteBytesForwarded(std::uint64_t n) { status_.bytes_forwarded += n; }
 
  private:
+  // Latches a changed outgoing directive and records stop-interval
+  // telemetry (out of line; transitions are rare next to recomputations).
+  void NoteDirectiveTransition(FlowDirective d);
+
   Switch* owner_;
   PortNum port_num_;
   Link* link_ = nullptr;

@@ -1,17 +1,21 @@
 #include "src/fabric/port_fifo.h"
 
-#include <cassert>
+#include <utility>
 
 namespace autonet {
 
 PortFifo::PortFifo(std::size_t capacity) : capacity_(capacity) {}
 
-void PortFifo::Account(std::ptrdiff_t delta) {
-  occupancy_ = static_cast<std::size_t>(
-      static_cast<std::ptrdiff_t>(occupancy_) + delta);
-  if (occupancy_ > max_occupancy_) {
-    max_occupancy_ = occupancy_;
+void PortFifo::RecordRing::Grow() {
+  std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+  std::vector<PacketRecord> bigger(cap);
+  std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bigger[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
   }
+  buf_ = std::move(bigger);
+  head_ = 0;
+  tail_ = n;
 }
 
 void PortFifo::PushBegin(const PacketRef& packet) {
@@ -20,22 +24,6 @@ void PortFifo::PushBegin(const PacketRef& packet) {
   record.capture_addr = packet->dest;
   records_.push_back(std::move(record));
   receiving_ = true;
-}
-
-bool PortFifo::PushByte() {
-  assert(receiving_ && "byte outside packet");
-  if (records_.empty()) {
-    return false;
-  }
-  PacketRecord& record = records_.back();
-  if (occupancy_ >= capacity_) {
-    ++overflow_count_;
-    record.corrupted = true;  // a lost byte destroys the packet
-    return false;
-  }
-  ++record.bytes_entered;
-  Account(+1);
-  return true;
 }
 
 void PortFifo::MarkIncomingCorrupt() {
@@ -74,32 +62,11 @@ bool PortFifo::HeadCaptureReady() const {
   return record.bytes_entered >= 2 || record.end_in_fifo;
 }
 
-std::optional<std::uint32_t> PortFifo::PopByte() {
-  if (records_.empty()) {
-    return std::nullopt;
-  }
-  PacketRecord& record = records_.front();
-  if (record.bytes_buffered() == 0) {
-    return std::nullopt;
-  }
-  std::uint32_t offset = record.bytes_consumed++;
-  Account(-1);
-  return offset;
-}
-
-bool PortFifo::HeadEndReady() const {
-  if (records_.empty()) {
-    return false;
-  }
-  const PacketRecord& record = records_.front();
-  return record.end_in_fifo && record.bytes_buffered() == 0;
-}
-
 std::optional<EndFlags> PortFifo::TryPopEnd() {
   if (!HeadEndReady()) {
     return std::nullopt;
   }
-  PacketRecord record = records_.front();
+  PacketRecord record = std::move(records_.front());
   records_.pop_front();
   Account(-1);
   return EndFlags{.truncated = record.truncated, .corrupted = record.corrupted};

@@ -10,9 +10,10 @@
 #ifndef SRC_FABRIC_PORT_FIFO_H_
 #define SRC_FABRIC_PORT_FIFO_H_
 
+#include <cassert>
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/packet.h"
@@ -44,11 +45,65 @@ class PortFifo {
     }
   };
 
+  // Power-of-two ring of packet records.  Cut-through keeps this at one or
+  // two entries, but its head and tail are touched once per payload byte on
+  // the forwarding hot path — a ring keeps those accesses to a masked index
+  // into one contiguous buffer, with none of std::deque's segment-map
+  // indirection.
+  class RecordRing {
+   public:
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    PacketRecord& front() { return buf_[head_ & (buf_.size() - 1)]; }
+    const PacketRecord& front() const {
+      return buf_[head_ & (buf_.size() - 1)];
+    }
+    PacketRecord& back() { return buf_[(tail_ - 1) & (buf_.size() - 1)]; }
+    void push_back(PacketRecord&& r) {
+      if (size() == buf_.size()) {
+        Grow();
+      }
+      buf_[tail_ & (buf_.size() - 1)] = std::move(r);
+      ++tail_;
+    }
+    void pop_front() {
+      buf_[head_ & (buf_.size() - 1)] = PacketRecord{};  // drop the PacketRef
+      ++head_;
+    }
+    void clear() {
+      while (!empty()) {
+        pop_front();
+      }
+    }
+
+   private:
+    void Grow();
+
+    std::vector<PacketRecord> buf_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+  };
+
   // --- enqueue side (link unit receive path) ---
   void PushBegin(const PacketRef& packet);
   // Returns false (and records an overflow) if the FIFO is full; the byte is
-  // lost and the incoming packet marked corrupted.
-  bool PushByte();
+  // lost and the incoming packet marked corrupted.  Inline: runs once per
+  // payload byte on the forwarding hot path.
+  bool PushByte() {
+    assert(receiving_ && "byte outside packet");
+    if (records_.empty()) {
+      return false;
+    }
+    PacketRecord& record = records_.back();
+    if (occupancy_ >= capacity_) {
+      ++overflow_count_;
+      record.corrupted = true;  // a lost byte destroys the packet
+      return false;
+    }
+    ++record.bytes_entered;
+    Account(+1);
+    return true;
+  }
   void MarkIncomingCorrupt();
   void PushEnd(EndFlags flags);
   // Carrier vanished mid-packet: terminate the incoming packet as truncated.
@@ -62,10 +117,28 @@ class PortFifo {
   // packet are buffered (or the whole runt packet has arrived).
   bool HeadCaptureReady() const;
   // Pops one data byte of the head packet; returns its offset, or nullopt if
-  // no byte is buffered.
-  std::optional<std::uint32_t> PopByte();
+  // no byte is buffered.  Inline: runs once per payload byte on the
+  // forwarding hot path.
+  std::optional<std::uint32_t> PopByte() {
+    if (records_.empty()) {
+      return std::nullopt;
+    }
+    PacketRecord& record = records_.front();
+    if (record.bytes_buffered() == 0) {
+      return std::nullopt;
+    }
+    std::uint32_t offset = record.bytes_consumed++;
+    Account(-1);
+    return offset;
+  }
   // True when the head packet's end mark is next (all bytes consumed).
-  bool HeadEndReady() const;
+  bool HeadEndReady() const {
+    if (records_.empty()) {
+      return false;
+    }
+    const PacketRecord& record = records_.front();
+    return record.end_in_fifo && record.bytes_buffered() == 0;
+  }
   std::optional<EndFlags> TryPopEnd();
 
   // --- occupancy / statistics ---
@@ -79,14 +152,20 @@ class PortFifo {
   void Clear();
 
  private:
-  void Account(std::ptrdiff_t delta);
+  void Account(std::ptrdiff_t delta) {
+    occupancy_ = static_cast<std::size_t>(
+        static_cast<std::ptrdiff_t>(occupancy_) + delta);
+    if (occupancy_ > max_occupancy_) {
+      max_occupancy_ = occupancy_;
+    }
+  }
 
   std::size_t capacity_;
   std::size_t occupancy_ = 0;  // buffered data bytes + end marks
   std::size_t max_occupancy_ = 0;
   std::uint64_t overflow_count_ = 0;
   bool receiving_ = false;  // a packet is currently arriving
-  std::deque<PacketRecord> records_;
+  RecordRing records_;
 };
 
 }  // namespace autonet

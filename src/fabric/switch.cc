@@ -46,16 +46,6 @@ Switch::~Switch() {
   }
 }
 
-LinkUnit& Switch::link_unit(PortNum port) {
-  assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
-  return *static_cast<LinkUnit*>(ports_[port].get());
-}
-
-const LinkUnit& Switch::link_unit(PortNum port) const {
-  assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
-  return *static_cast<const LinkUnit*>(ports_[port].get());
-}
-
 void Switch::AttachLink(PortNum port, Link* link, Link::Side side) {
   link_unit(port).AttachLink(link, side);
 }
@@ -130,21 +120,6 @@ Switch::Stats Switch::stats() const {
   return s;
 }
 
-void Switch::OnFifoActivity(PortNum p) {
-  m_fifo_hwm_[p]->SetMax(static_cast<double>(ports_[p]->fifo().occupancy()));
-  switch (in_state_[p]) {
-    case InState::kIdle:
-      MaybeCapture(p);
-      break;
-    case InState::kForwarding:
-      forwarders_[p]->OnFifoActivity();
-      break;
-    case InState::kCapturePending:
-    case InState::kRequested:
-      break;
-  }
-}
-
 void Switch::OnXmitOkChange(PortNum p) {
   for (auto& fwd : forwarders_) {
     if (fwd != nullptr && fwd->outports().Test(p)) {
@@ -172,16 +147,6 @@ void Switch::CancelInputActivity(PortNum p) {
 void Switch::OnPortReceiveReset(PortNum p) {
   CancelInputActivity(p);
   MaybeCapture(p);
-}
-
-void Switch::AfterFifoPop(PortNum p) {
-  if (p == kCpPort) {
-    cp_port_->PumpPending();
-  } else {
-    LinkUnit& unit = link_unit(p);
-    unit.NoteBytesForwarded(1);  // ProgressSeen evidence for the sampler
-    unit.UpdateOutgoingFlow();
-  }
 }
 
 void Switch::MaybeCapture(PortNum p) {

@@ -9,6 +9,7 @@
 #define SRC_FABRIC_SWITCH_H_
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -71,8 +72,14 @@ class Switch {
   // --- cabling ---
   void AttachLink(PortNum port, Link* link, Link::Side side);
   void DetachLink(PortNum port);
-  LinkUnit& link_unit(PortNum port);
-  const LinkUnit& link_unit(PortNum port) const;
+  LinkUnit& link_unit(PortNum port) {
+    assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
+    return *static_cast<LinkUnit*>(ports_[port].get());
+  }
+  const LinkUnit& link_unit(PortNum port) const {
+    assert(port >= kFirstExternalPort && port < kPortsPerSwitch);
+    return *static_cast<const LinkUnit*>(ports_[port].get());
+  }
   CpPort& cp_port() { return *cp_port_; }
 
   // --- control-processor interface ---
@@ -92,10 +99,40 @@ class Switch {
 
   // --- internal plumbing, called by ports and forwarders ---
   Port& port(PortNum p) { return *ports_[p]; }
-  void OnFifoActivity(PortNum p);
+  // Inline: runs once per received byte on the forwarding hot path.
+  void OnFifoActivity(PortNum p) {
+    // High-water-mark gauge behind an integer shadow: the gauge is only
+    // touched when a new maximum is set, so the steady-state byte costs one
+    // integer compare instead of an int->double convert + double max.
+    std::size_t occ = ports_[p]->fifo().occupancy();
+    if (occ > fifo_hwm_shadow_[p]) {
+      fifo_hwm_shadow_[p] = occ;
+      m_fifo_hwm_[p]->SetMax(static_cast<double>(occ));
+    }
+    switch (in_state_[p]) {
+      case InState::kIdle:
+        MaybeCapture(p);
+        break;
+      case InState::kForwarding:
+        forwarders_[p]->OnFifoActivity();
+        break;
+      case InState::kCapturePending:
+      case InState::kRequested:
+        break;
+    }
+  }
   void OnXmitOkChange(PortNum p);
   void OnPortReceiveReset(PortNum p);
-  void AfterFifoPop(PortNum p);
+  // Inline: runs once per forwarded byte on the forwarding hot path.
+  void AfterFifoPop(PortNum p) {
+    if (p == kCpPort) {
+      cp_port_->PumpPending();
+    } else {
+      LinkUnit& unit = link_unit(p);
+      unit.NoteBytesForwarded(1);  // ProgressSeen evidence for the sampler
+      unit.UpdateOutgoingFlow();
+    }
+  }
   PortVector FreeOutputPorts() const;
   void NoteCpArrivalPort(PortNum p) { cp_port_->NoteArrivalPort(p); }
   // The forwarder for `inport` completed (sent its end mark or drained a
@@ -139,6 +176,7 @@ class Switch {
   obs::Counter* m_table_loads_;
   obs::Counter* m_resets_;
   std::array<obs::Gauge*, kPortsPerSwitch> m_fifo_hwm_{};
+  std::array<std::size_t, kPortsPerSwitch> fifo_hwm_shadow_{};
 };
 
 }  // namespace autonet

@@ -105,10 +105,16 @@ void HostController::SchedulePump() {
   if (pump_event_.valid() || tx_queue_.empty()) {
     return;
   }
-  pump_event_ = sim_->ScheduleAt(NextDataSlotAfter(sim_->now()), [this] {
-    pump_event_ = {};
-    Pump();
-  });
+  // One train per transmit burst: PumpStep re-anchors the single queue
+  // entry at each next data slot (the handler steers because flow slots
+  // make the grid non-arithmetic) and ends it when the queue drains or
+  // flow control stops us.
+  pump_event_ = sim_->ScheduleTrainRawAt(
+      NextDataSlotAfter(sim_->now()), 0,
+      [](void* self, std::uint64_t, std::uint32_t) {
+        return static_cast<HostController*>(self)->PumpStep();
+      },
+      this, 0);
 }
 
 void HostController::OnThrottleChange() {
@@ -117,12 +123,14 @@ void HostController::OnThrottleChange() {
   }
 }
 
-void HostController::Pump() {
+Simulator::TrainStep HostController::PumpStep() {
   if (tx_queue_.empty()) {
-    return;
+    pump_event_ = {};
+    return Simulator::TrainStep::Done();
   }
   if (!CanTransmitNow()) {
-    return;  // resume on flow-directive change
+    pump_event_ = {};
+    return Simulator::TrainStep::Done();  // resume on flow-directive change
   }
   NetPort& port = ports_[active_];
   const PacketRef& packet = tx_queue_.front();
@@ -130,13 +138,11 @@ void HostController::Pump() {
     port.link->TransmitBegin(port.side, packet);
     tx_begun_ = true;
     tx_offset_ = 0;
-    SchedulePump();
-    return;
+    return Simulator::TrainStep::At(NextDataSlotAfter(sim_->now()));
   }
   if (tx_offset_ < packet->WireSize()) {
     port.link->TransmitByte(port.side, packet, tx_offset_++);
-    SchedulePump();
-    return;
+    return Simulator::TrainStep::At(NextDataSlotAfter(sim_->now()));
   }
   port.link->TransmitEnd(port.side, EndFlags{});
   ++stats_.packets_sent;
@@ -144,7 +150,11 @@ void HostController::Pump() {
   tx_queue_.pop_front();
   tx_begun_ = false;
   tx_offset_ = 0;
-  SchedulePump();
+  if (tx_queue_.empty()) {
+    pump_event_ = {};
+    return Simulator::TrainStep::Done();
+  }
+  return Simulator::TrainStep::At(NextDataSlotAfter(sim_->now()));
 }
 
 bool HostController::link_error_on_active() const {

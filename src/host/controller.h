@@ -121,7 +121,7 @@ class HostController {
   void UpdatePortDirectives();
   bool CanTransmitNow() const;
   void SchedulePump();
-  void Pump();
+  Simulator::TrainStep PumpStep();
   void OnThrottleChange();
   void FinishReceive(NetPort& port, EndFlags flags);
   void DrainRxQueue();

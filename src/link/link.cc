@@ -1,5 +1,7 @@
 #include "src/link/link.h"
 
+#include <utility>
+
 #include "src/link/slots.h"
 
 namespace autonet {
@@ -28,6 +30,16 @@ Link::Link(Simulator* sim, double length_km, std::uint64_t corruption_seed)
       propagation_delay_(PropagationDelayNs(length_km)),
       corruption_rng_(corruption_seed) {}
 
+Link::~Link() {
+  // Channel trains and directive deliveries capture `this`.
+  for (Channel& ch : channels_) {
+    sim_->Cancel(ch.train);
+  }
+  for (TxState& tx : tx_) {
+    sim_->Cancel(tx.pending_directive);
+  }
+}
+
 void Link::Attach(Side side, LinkEndpoint* endpoint) {
   endpoints_[static_cast<int>(side)] = endpoint;
   NotifyCarrier();
@@ -37,32 +49,6 @@ void Link::Attach(Side side, LinkEndpoint* endpoint) {
 void Link::Detach(Side side) {
   endpoints_[static_cast<int>(side)] = nullptr;
   NotifyCarrier();
-}
-
-bool Link::DeliveryTarget(Side from, Side* rx_side, Tick* delay) const {
-  switch (mode_) {
-    case LinkMode::kNormal:
-      *rx_side = Other(from);
-      *delay = propagation_delay_;
-      return true;
-    case LinkMode::kCut:
-      return false;
-    case LinkMode::kReflectA:
-      if (from != Side::kA) {
-        return false;
-      }
-      *rx_side = Side::kA;
-      *delay = 2 * propagation_delay_;
-      return true;
-    case LinkMode::kReflectB:
-      if (from != Side::kB) {
-        return false;
-      }
-      *rx_side = Side::kB;
-      *delay = 2 * propagation_delay_;
-      return true;
-  }
-  return false;
 }
 
 bool Link::CarrierAt(Side rx_side) const {
@@ -79,6 +65,93 @@ bool Link::CarrierAt(Side rx_side) const {
   return false;
 }
 
+void Link::FlitRing::Grow() {
+  std::size_t cap = buf_.empty() ? 256 : buf_.size() * 2;
+  std::vector<Flit> bigger(cap);
+  std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    bigger[i] = buf_[(head_ + i) & (buf_.size() - 1)];
+  }
+  buf_ = std::move(bigger);
+  head_ = 0;
+  tail_ = n;
+}
+
+// Out-of-line slow half of PushFlit (see link.h for the hot half): the
+// one-shot bypass fallback for out-of-order arrivals, and train start for a
+// channel that has no parked train to resume.
+void Link::PushFlitBypass(const Flit& flit, const PacketRef& packet) {
+  // The train's queue must stay sorted by arrival, and its packet
+  // bookkeeping needs begin/byte/end of a packet to take the same path, so
+  // the rest of this packet is delivered the old way.
+  LinkEndpoint* ep = flit.ep;
+  switch (flit.kind) {
+    case Flit::Kind::kBegin: {
+      PacketRef copy = packet;
+      sim_->ScheduleAtReserved(flit.arrive, flit.seq,
+                               [ep, copy] { ep->OnPacketBegin(copy); });
+      break;
+    }
+    case Flit::Kind::kByte: {
+      PacketRef copy = packet;
+      std::uint32_t offset = flit.offset;
+      bool corrupt = flit.corrupt;
+      sim_->ScheduleAtReserved(flit.arrive, flit.seq,
+                               [ep, copy, offset, corrupt] {
+                                 ep->OnDataByte(copy, offset, corrupt);
+                               });
+      break;
+    }
+    case Flit::Kind::kEnd: {
+      EndFlags flags = flit.flags;
+      sim_->ScheduleAtReserved(flit.arrive, flit.seq,
+                               [ep, flags] { ep->OnPacketEnd(flags); });
+      break;
+    }
+  }
+}
+
+void Link::StartDeliveryTrain(Side from, Channel& ch) {
+  const Flit& head = ch.inflight.front();
+  ch.train = sim_->ScheduleTrainRawAt(
+      head.arrive, head.seq,
+      [](void* self, std::uint64_t side, std::uint32_t) {
+        return static_cast<Link*>(self)->DeliverStep(static_cast<Side>(side));
+      },
+      this, static_cast<std::uint64_t>(from));
+}
+
+// One train firing: deliver the head flit, then re-anchor the train at the
+// next flit's reserved (arrive, seq) position — or park it if the channel
+// drained.  The flit is popped before its callback runs, so an endpoint
+// reacting by transmitting (which appends to some channel) sees consistent
+// state.
+Simulator::TrainStep Link::DeliverStep(Side from) {
+  Channel& ch = channels_[static_cast<int>(from)];
+  Flit f = ch.inflight.front();
+  ch.inflight.pop_front();
+  switch (f.kind) {
+    case Flit::Kind::kBegin:
+      ch.rx_packet = std::move(ch.begin_packets.front());
+      ch.begin_packets.pop_front();
+      f.ep->OnPacketBegin(ch.rx_packet);
+      break;
+    case Flit::Kind::kByte:
+      f.ep->OnDataByte(ch.rx_packet, f.offset, f.corrupt);
+      break;
+    case Flit::Kind::kEnd:
+      ch.rx_packet = PacketRef{};
+      f.ep->OnPacketEnd(f.flags);
+      break;
+  }
+  if (ch.inflight.empty()) {
+    ch.parked = true;  // keep the slot; the next PushFlit resumes it
+    return Simulator::TrainStep::Park();
+  }
+  return Simulator::TrainStep::At(ch.inflight.front().arrive,
+                                  ch.inflight.front().seq);
+}
+
 void Link::TransmitBegin(Side from, const PacketRef& packet) {
   tx_[static_cast<int>(from)].in_packet = true;
   Side rx;
@@ -90,26 +163,12 @@ void Link::TransmitBegin(Side from, const PacketRef& packet) {
   if (ep == nullptr) {
     return;
   }
-  PacketRef copy = packet;
-  sim_->ScheduleAfter(delay, [ep, copy] { ep->OnPacketBegin(copy); });
-}
-
-void Link::TransmitByte(Side from, const PacketRef& packet,
-                        std::uint32_t offset) {
-  Side rx;
-  Tick delay;
-  if (!DeliveryTarget(from, &rx, &delay)) {
-    return;
-  }
-  LinkEndpoint* ep = EndpointAt(rx);
-  if (ep == nullptr) {
-    return;
-  }
-  bool corrupt =
-      corruption_rate_ > 0.0 && corruption_rng_.Bernoulli(corruption_rate_);
-  PacketRef copy = packet;
-  sim_->ScheduleAfter(
-      delay, [ep, copy, offset, corrupt] { ep->OnDataByte(copy, offset, corrupt); });
+  Flit flit{};
+  flit.arrive = sim_->now() + delay;
+  flit.seq = sim_->ReserveSeq();
+  flit.ep = ep;
+  flit.kind = Flit::Kind::kBegin;
+  PushFlit(from, flit, packet);
 }
 
 void Link::TransmitEnd(Side from, EndFlags flags) {
@@ -123,16 +182,28 @@ void Link::TransmitEnd(Side from, EndFlags flags) {
   if (ep == nullptr) {
     return;
   }
-  sim_->ScheduleAfter(delay, [ep, flags] { ep->OnPacketEnd(flags); });
+  Flit flit{};
+  flit.arrive = sim_->now() + delay;
+  flit.seq = sim_->ReserveSeq();
+  flit.ep = ep;
+  flit.kind = Flit::Kind::kEnd;
+  flit.flags = flags;
+  PushFlit(from, flit, PacketRef{});
 }
 
-void Link::SetFlowDirective(Side from, FlowDirective directive) {
+// Out-of-line slow half of SetFlowDirective: the inline wrapper has already
+// established that `directive` differs from the latched value.
+void Link::SetFlowDirectiveChanged(Side from, FlowDirective directive) {
   TxState& tx = tx_[static_cast<int>(from)];
-  if (tx.directive == directive) {
-    return;
-  }
   tx.directive = directive;
   tx.directive_since = sim_->now();
+  // A change that is still waiting for its flow slot is superseded: the
+  // wire only ever carries the latest latched value, so delivering the
+  // older one too would double-deliver (and could re-order).
+  if (tx.pending_directive.valid()) {
+    sim_->Cancel(tx.pending_directive);
+    tx.pending_directive = Simulator::EventId{};
+  }
   if (directive == FlowDirective::kNone) {
     // Absence of directives generates no event; the receiving side keeps
     // acting on the last directive it received (the design oversight noted
@@ -140,6 +211,12 @@ void Link::SetFlowDirective(Side from, FlowDirective directive) {
     // MissedDirectiveSlots().
     return;
   }
+  ScheduleDirective(from, directive);
+}
+
+// Schedules delivery of `directive` in the next flow-control slot, replacing
+// any still-undelivered previous scheduling for this side.
+void Link::ScheduleDirective(Side from, FlowDirective directive) {
   Side rx;
   Tick delay;
   if (!DeliveryTarget(from, &rx, &delay)) {
@@ -149,9 +226,17 @@ void Link::SetFlowDirective(Side from, FlowDirective directive) {
   if (ep == nullptr) {
     return;
   }
+  TxState& tx = tx_[static_cast<int>(from)];
+  if (tx.pending_directive.valid()) {
+    sim_->Cancel(tx.pending_directive);
+  }
   // The change is transmitted in the next flow-control slot.
   Tick when = NextFlowSlotAt(sim_->now()) + delay;
-  sim_->ScheduleAt(when, [ep, directive] { ep->OnFlowDirective(directive); });
+  tx.pending_directive =
+      sim_->ScheduleAt(when, [this, from, ep, directive] {
+        tx_[static_cast<int>(from)].pending_directive = Simulator::EventId{};
+        ep->OnFlowDirective(directive);
+      });
 }
 
 void Link::SetMode(LinkMode mode) {
@@ -175,25 +260,15 @@ void Link::SetMode(LinkMode mode) {
 // Directives are transmitted continuously in the real hardware, so a mode
 // change or endpoint attachment makes the (unchanged) latched directive of
 // the now-audible transmitter reach the receiver within one flow-slot
-// period.
+// period.  ScheduleDirective cancels any still-pending delivery for the
+// side, so a redelivery racing an in-flight change cannot double-deliver.
 void Link::RedeliverDirectives() {
   for (Side from : {Side::kA, Side::kB}) {
     const TxState& tx = tx_[static_cast<int>(from)];
     if (tx.directive == FlowDirective::kNone) {
       continue;
     }
-    Side rx;
-    Tick delay;
-    if (!DeliveryTarget(from, &rx, &delay)) {
-      continue;
-    }
-    LinkEndpoint* ep = EndpointAt(rx);
-    if (ep == nullptr) {
-      continue;
-    }
-    FlowDirective d = tx.directive;
-    Tick when = NextFlowSlotAt(sim_->now()) + delay;
-    sim_->ScheduleAt(when, [ep, d] { ep->OnFlowDirective(d); });
+    ScheduleDirective(from, tx.directive);
   }
 }
 

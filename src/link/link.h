@@ -8,6 +8,14 @@
 // events: "how many directive slots were missed" style questions are
 // answered arithmetically from state-change timestamps.
 //
+// Delivery uses one simulator *train* per channel rather than one event per
+// symbol: each transmitted symbol becomes a POD flit in the channel's
+// in-flight queue, and a single queue entry re-sifts itself from arrival to
+// arrival.  Each flit's tie-break sequence is reserved at transmit time, so
+// the global firing order is identical to the event-per-byte engine this
+// replaced — only the per-byte std::function, PacketRef copy, and queue
+// entry are gone.
+//
 // Fault modes reproduce the physical behaviours the paper describes:
 //   kCut         no symbols arrive in either direction (unplugged cable)
 //   kReflectA/B  the coax hybrid reflects the named side's own transmissions
@@ -19,7 +27,10 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <type_traits>
+#include <vector>
 
 #include "src/common/packet.h"
 #include "src/common/time.h"
@@ -76,20 +87,30 @@ class Link {
   }
 
   Link(Simulator* sim, double length_km, std::uint64_t corruption_seed = 1);
+  ~Link();
 
   void Attach(Side side, LinkEndpoint* endpoint);
   void Detach(Side side);
 
   // --- transmit path (called by the owning endpoint of `from`) ---
   void TransmitBegin(Side from, const PacketRef& packet);
+  // Inline (defined below the class): runs once per payload byte.
   void TransmitByte(Side from, const PacketRef& packet, std::uint32_t offset);
   void TransmitEnd(Side from, EndFlags flags);
 
   // Latches the directive this side sends in flow-control slots.  kNone
   // means "send only sync in flow slots" (alternate host port behaviour).
   // The remote side observes the change at the next flow slot plus the
-  // propagation delay.
-  void SetFlowDirective(Side from, FlowDirective directive);
+  // propagation delay.  A change made while a previous change is still
+  // waiting for its flow slot supersedes it: only the latest latched value
+  // is ever delivered.  Inline so the no-change case (re-asserted once per
+  // forwarded byte by the FIFO flow logic) costs one compare.
+  void SetFlowDirective(Side from, FlowDirective directive) {
+    if (tx_[static_cast<int>(from)].directive == directive) {
+      return;
+    }
+    SetFlowDirectiveChanged(from, directive);
+  }
   FlowDirective flow_directive(Side from) const {
     return tx_[static_cast<int>(from)].directive;
   }
@@ -120,14 +141,118 @@ class Link {
     FlowDirective directive = FlowDirective::kNone;
     Tick directive_since = 0;
     bool in_packet = false;
+    // The undelivered directive change scheduled for the next flow slot, if
+    // any.  Cancelled when a newer change supersedes it.
+    Simulator::EventId pending_directive;
   };
 
-  // Where do symbols transmitted from `from` end up?  Returns the receiving
-  // side, or nullopt if they are lost.
-  bool DeliveryTarget(Side from, Side* rx_side, Tick* delay) const;
+  // One in-flight symbol of a channel: receiver and arrival time are
+  // captured at transmit time (exactly what the per-byte events captured),
+  // as is `seq`, the reserved tie-break position among simultaneous events.
+  // Deliberately trivially copyable — the ring buffer below moves these by
+  // plain stores; the packet a kBegin introduces rides in the channel's
+  // `begin_packets` side queue instead.
+  struct Flit {
+    enum class Kind : std::uint8_t { kBegin, kByte, kEnd };
+    Tick arrive;
+    std::uint64_t seq;
+    LinkEndpoint* ep;
+    std::uint32_t offset;
+    Kind kind;
+    bool corrupt;
+    EndFlags flags;
+  };
+  static_assert(std::is_trivially_copyable_v<Flit>);
+
+  // Power-of-two ring buffer of in-flight flits: push/pop are an index
+  // increment and a masked store/load, with none of std::deque's segment
+  // bookkeeping on the per-byte path.
+  class FlitRing {
+   public:
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return tail_ - head_; }
+    const Flit& front() const { return buf_[head_ & (buf_.size() - 1)]; }
+    const Flit& back() const { return buf_[(tail_ - 1) & (buf_.size() - 1)]; }
+    void push_back(const Flit& f) {
+      if (size() == buf_.size()) {
+        Grow();
+      }
+      buf_[tail_ & (buf_.size() - 1)] = f;
+      ++tail_;
+    }
+    void pop_front() { ++head_; }
+
+   private:
+    void Grow();
+
+    std::vector<Flit> buf_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+  };
+
+  // Unidirectional channel state, keyed by the transmitting side.
+  struct Channel {
+    FlitRing inflight;
+    // Packets of the kBegin flits in `inflight`, in order (cut-through
+    // keeps this at one or two entries).
+    std::deque<PacketRef> begin_packets;
+    PacketRef rx_packet;  // packet currently streaming out of the channel
+    Simulator::EventId train;
+    // The train parked itself when the channel drained (its slot is kept
+    // for ResumeTrain); distinguishes an idle train from one whose firing
+    // is on the stack right now.
+    bool parked = false;
+    // A mode change that shortens the path mid-stream makes arrivals
+    // non-monotone; such flits (and the rest of their packet) bypass the
+    // train as one-shot events until the next packet boundary.
+    bool bypass = false;
+  };
+
+  // Where do symbols transmitted from `from` end up?  Returns false if they
+  // are lost.  Inline: on the per-byte transmit path, and kNormal folds to
+  // two stores.
+  bool DeliveryTarget(Side from, Side* rx_side, Tick* delay) const {
+    switch (mode_) {
+      case LinkMode::kNormal:
+        *rx_side = Other(from);
+        *delay = propagation_delay_;
+        return true;
+      case LinkMode::kCut:
+        return false;
+      case LinkMode::kReflectA:
+        if (from != Side::kA) {
+          return false;
+        }
+        *rx_side = Side::kA;
+        *delay = 2 * propagation_delay_;
+        return true;
+      case LinkMode::kReflectB:
+        if (from != Side::kB) {
+          return false;
+        }
+        *rx_side = Side::kB;
+        *delay = 2 * propagation_delay_;
+        return true;
+    }
+    return false;
+  }
   LinkEndpoint* EndpointAt(Side side) const {
     return endpoints_[static_cast<int>(side)];
   }
+  // `packet` is the packet a kBegin introduces (queued for the train, or
+  // captured by the bypass one-shot) and, for a kByte, the packet read only
+  // on the rare bypass path; unused for kEnd.  Inline (defined below the
+  // class) with the rare halves split out-of-line.
+  void PushFlit(Side from, const Flit& flit, const PacketRef& packet);
+  // One-shot event fallback for a flit that cannot ride the train (a mode
+  // change made arrivals non-monotone mid-packet).
+  void PushFlitBypass(const Flit& flit, const PacketRef& packet);
+  // Starts the delivery train for a channel whose head flit just arrived
+  // and whose train slot is not merely parked.
+  void StartDeliveryTrain(Side from, Channel& ch);
+  Simulator::TrainStep DeliverStep(Side from);
+  void SetFlowDirectiveChanged(Side from, FlowDirective directive);
+  void ScheduleDirective(Side from, FlowDirective directive);
   void NotifyCarrier();
   void RedeliverDirectives();
 
@@ -139,8 +264,76 @@ class Link {
   Rng corruption_rng_;
   std::array<LinkEndpoint*, 2> endpoints_{};
   std::array<TxState, 2> tx_{};
+  std::array<Channel, 2> channels_{};
   std::array<bool, 2> last_carrier_{false, false};
 };
+
+// Appends a transmitted symbol to its channel's in-flight queue, starting
+// (or resuming) the delivery train if the channel was idle.  Every flit
+// arrives at its captured (arrive, seq) position whichever path delivers
+// it, so the global firing order is identical to the event-per-symbol
+// engine.  Inline so the per-byte transmit chain (endpoint -> TransmitByte
+// -> PushFlit -> ResumeTrain) compiles as one unit; the bypass fallback and
+// cold train start stay out of line.
+inline void Link::PushFlit(Side from, const Flit& flit,
+                           const PacketRef& packet) {
+  Channel& ch = channels_[static_cast<int>(from)];
+  bool out_of_order =
+      !ch.inflight.empty() && flit.arrive < ch.inflight.back().arrive;
+  if (out_of_order) {
+    ch.bypass = true;
+  } else if (flit.kind == Flit::Kind::kBegin) {
+    // A new packet whose begin is in order streams through the train again.
+    ch.bypass = false;
+  }
+  if (ch.bypass) {
+    PushFlitBypass(flit, packet);
+    return;
+  }
+  if (flit.kind == Flit::Kind::kBegin) {
+    ch.begin_packets.push_back(packet);
+  }
+  bool was_empty = ch.inflight.empty();
+  ch.inflight.push_back(flit);
+  if (was_empty) {
+    if (ch.parked) {
+      // On short links the channel drains after every symbol, so the train
+      // parks and resumes once per symbol; reusing the parked slot keeps
+      // that to a single heap push.
+      ch.parked = false;
+      const Flit& head = ch.inflight.front();
+      sim_->ResumeTrain(ch.train, head.arrive, head.seq);
+    } else if (!ch.train.valid()) {
+      StartDeliveryTrain(from, ch);
+    }
+    // else: a DeliverStep firing for this channel is on the stack (the
+    // delivery callback transmitted back into the same channel, e.g. in
+    // reflect mode); it will chain to the new head itself.
+  }
+}
+
+inline void Link::TransmitByte(Side from, const PacketRef& packet,
+                               std::uint32_t offset) {
+  Side rx;
+  Tick delay;
+  if (!DeliveryTarget(from, &rx, &delay)) {
+    return;
+  }
+  LinkEndpoint* ep = EndpointAt(rx);
+  if (ep == nullptr) {
+    return;
+  }
+  bool corrupt =
+      corruption_rate_ > 0.0 && corruption_rng_.Bernoulli(corruption_rate_);
+  Flit flit{};
+  flit.arrive = sim_->now() + delay;
+  flit.seq = sim_->ReserveSeq();
+  flit.ep = ep;
+  flit.offset = offset;
+  flit.kind = Flit::Kind::kByte;
+  flit.corrupt = corrupt;
+  PushFlit(from, flit, packet);
+}
 
 }  // namespace autonet
 

@@ -1,77 +1,319 @@
 #include "src/sim/simulator.h"
 
-#include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 namespace autonet {
 
+void Simulator::SeqOverflow() {
+  std::fprintf(stderr,
+               "Simulator: event sequence space exhausted (2^39 schedules)\n");
+  std::abort();
+}
+
+void Simulator::SlotOverflow() {
+  std::fprintf(stderr,
+               "Simulator: more than %u events pending simultaneously\n",
+               kMaxSlot);
+  std::abort();
+}
+
+std::uint32_t Simulator::AllocEventSlot() {
+  if (!free_events_.empty()) {
+    std::uint32_t slot = free_events_.back();
+    free_events_.pop_back();
+    return slot;
+  }
+  if (events_.size() > kMaxSlot) {
+    SlotOverflow();
+  }
+  events_.emplace_back();
+  return static_cast<std::uint32_t>(events_.size() - 1);
+}
+
+std::uint32_t Simulator::AllocTrainSlot() {
+  if (!free_trains_.empty()) {
+    std::uint32_t slot = free_trains_.back();
+    free_trains_.pop_back();
+    return slot;
+  }
+  if (trains_.size() > kMaxSlot) {
+    SlotOverflow();
+  }
+  trains_.emplace_back();
+  return static_cast<std::uint32_t>(trains_.size() - 1);
+}
+
+void Simulator::FreeEventSlot(std::uint32_t slot) {
+  EventSlot& s = events_[slot];
+  s.callback = nullptr;
+  s.seq = 0;
+  free_events_.push_back(slot);
+}
+
+void Simulator::FreeTrainSlot(std::uint32_t slot) {
+  TrainSlot& t = trains_[slot];
+  if (t.handler) {
+    t.handler = nullptr;  // raw trains never touch the std::function
+  }
+  t.fn = nullptr;
+  t.id_seq = 0;
+  t.cancelled = false;
+  t.parked = false;
+  free_trains_.push_back(slot);
+}
+
+void Simulator::NotePastClamp() {
+  // Scheduling in the past is tolerated (clamped to now) but counted, so a
+  // component that does it systematically is visible in telemetry.  The
+  // counter is created lazily to keep clean runs' metric snapshots free of
+  // it.
+  if (past_clamped_ == nullptr) {
+    past_clamped_ = metrics_.GetCounter("sim.schedule_past_clamped");
+  }
+  past_clamped_->Increment();
+}
+
 Simulator::EventId Simulator::ScheduleAt(Tick when, Callback callback) {
-  assert(when >= now_ && "cannot schedule events in the past");
+  if (when < now_) {
+    when = now_;
+    NotePastClamp();
+  }
+  return ScheduleAtReserved(when, NextSeq(), std::move(callback));
+}
+
+Simulator::EventId Simulator::ScheduleAtReserved(Tick when, std::uint64_t seq,
+                                                Callback callback) {
   if (when < now_) {
     when = now_;
   }
-  Event event{when, next_seq_++, std::move(callback)};
-  EventId id{event.seq};
-  live_.insert(event.seq);
-  queue_.push(std::move(event));
-  return id;
+  std::uint32_t slot = AllocEventSlot();
+  EventSlot& s = events_[slot];
+  s.callback = std::move(callback);
+  s.seq = seq;
+  queue_.push(QEntry::Make(when, seq, slot, false), now_);
+  ++live_count_;
+  return EventId{seq, slot, false};
+}
+
+Simulator::EventId Simulator::ScheduleTrain(Tick start, Tick stride,
+                                            std::uint32_t count,
+                                            TrainHandler handler) {
+  return ScheduleTrainAt(start, 0, std::move(handler), stride, count);
+}
+
+Simulator::EventId Simulator::ScheduleTrainAt(Tick start, std::uint64_t seq,
+                                              TrainHandler handler, Tick stride,
+                                              std::uint32_t count) {
+  if (start < now_) {
+    start = now_;
+    NotePastClamp();
+  }
+  if (seq == 0) {
+    seq = NextSeq();
+  }
+  std::uint32_t slot = AllocTrainSlot();
+  TrainSlot& t = trains_[slot];
+  t.handler = std::move(handler);
+  t.fn = nullptr;
+  t.id_seq = seq;
+  t.stride = stride;
+  t.next_k = 0;
+  t.count = count;
+  t.cancelled = false;
+  t.parked = false;
+  queue_.push(QEntry::Make(start, seq, slot, true), now_);
+  ++live_count_;
+  return EventId{seq, slot, true};
+}
+
+Simulator::EventId Simulator::ScheduleTrainRawAt(Tick start, std::uint64_t seq,
+                                                 TrainFn fn, void* ctx,
+                                                 std::uint64_t arg, Tick stride,
+                                                 std::uint32_t count) {
+  if (start < now_) {
+    start = now_;
+    NotePastClamp();
+  }
+  if (seq == 0) {
+    seq = NextSeq();
+  }
+  std::uint32_t slot = AllocTrainSlot();
+  TrainSlot& t = trains_[slot];
+  t.fn = fn;
+  t.ctx = ctx;
+  t.arg = arg;
+  t.id_seq = seq;
+  t.stride = stride;
+  t.next_k = 0;
+  t.count = count;
+  t.cancelled = false;
+  t.parked = false;
+  queue_.push(QEntry::Make(start, seq, slot, true), now_);
+  ++live_count_;
+  return EventId{seq, slot, true};
 }
 
 bool Simulator::Cancel(EventId id) {
   if (!id.valid()) {
     return false;
   }
-  // Lazy cancellation: remove from the live set; the queue entry is
-  // discarded when it reaches the head.
-  return live_.erase(id.seq) > 0;
+  if (id.train) {
+    if (id.slot >= trains_.size()) {
+      return false;
+    }
+    TrainSlot& t = trains_[id.slot];
+    if (t.id_seq != id.seq || t.cancelled) {
+      return false;  // already ended, or a different train owns the slot
+    }
+    if (t.parked) {
+      // No queue entry exists to drain the slot later; free it now.  The
+      // park already removed the train from live_count_.
+      FreeTrainSlot(id.slot);
+      return true;
+    }
+    // Inverted cancellation: flag the slot; the train's single queue entry
+    // is discarded when it surfaces.  The handler is freed then, not here —
+    // it may be the function currently executing.
+    t.cancelled = true;
+    --live_count_;
+    return true;
+  }
+  if (id.slot >= events_.size()) {
+    return false;
+  }
+  EventSlot& s = events_[id.slot];
+  if (s.seq != id.seq) {
+    return false;  // already fired, or the slot was recycled
+  }
+  // Release the callback (and whatever it captures) now; the queue entry
+  // fails its generation check when it reaches the head.
+  FreeEventSlot(id.slot);
+  --live_count_;
+  return true;
 }
 
-bool Simulator::PopNext(Event* out) {
-  while (!queue_.empty()) {
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (live_.erase(event.seq) == 0) {
-      continue;  // cancelled
+bool Simulator::EntryLive(const QEntry& entry) {
+  if (entry.train()) {
+    // A train owns its slot for as long as its queue entry exists, so the
+    // slot cannot have been recycled under the entry.
+    return !trains_[entry.slot()].cancelled;
+  }
+  return events_[entry.slot()].seq == entry.seq();
+}
+
+void Simulator::DispatchTop(QEntry entry) {
+#ifdef AUTONET_QUEUE_ORDER_CHECK
+  if (entry.when < check_last_when_ ||
+      (entry.when == check_last_when_ && entry.seq() < check_last_seq_)) {
+    std::fprintf(stderr, "ORDER VIOLATION: (%lld,%llu) after (%lld,%llu)\n",
+                 (long long)entry.when, (unsigned long long)entry.seq(),
+                 (long long)check_last_when_,
+                 (unsigned long long)check_last_seq_);
+    std::abort();
+  }
+  check_last_when_ = entry.when;
+  check_last_seq_ = entry.seq();
+#endif
+  now_ = entry.when;
+  ++events_processed_;
+  queue_.pop();
+  if (!entry.train()) {
+    EventSlot& s = events_[entry.slot()];
+    Callback callback = std::move(s.callback);
+    FreeEventSlot(entry.slot());
+    --live_count_;
+    callback();
+    return;
+  }
+
+  // Train firing: deliver index k, then push a fresh entry anchored at the
+  // next firing time (the wheel makes pop and push O(1), so no replace-top
+  // trick is needed).  The handler may cancel the train (even destroy its
+  // owner), so re-reference the slot by index afterwards and only then
+  // decide the slot's fate — with the entry already popped, a mid-firing
+  // Cancel leaves slot disposal to us.
+  std::uint32_t slot = entry.slot();
+  std::uint32_t k = trains_[slot].next_k++;
+  TrainFn fn = trains_[slot].fn;
+  TrainStep step = fn != nullptr
+                       ? fn(trains_[slot].ctx, trains_[slot].arg, k)
+                       : trains_[slot].handler(k);
+  TrainSlot& t = trains_[slot];
+  if (t.cancelled) {
+    FreeTrainSlot(slot);  // Cancel already adjusted live_count_
+    return;
+  }
+  if (step.kind() == TrainStep::Kind::kPark) {
+    // The slot stays owned by the train for a later ResumeTrain.  A parked
+    // train is not pending.
+    t.parked = true;
+    --live_count_;
+    return;
+  }
+  if (step.kind() == TrainStep::Kind::kDone ||
+      (t.count != 0 && t.next_k >= t.count)) {
+    --live_count_;
+    FreeTrainSlot(slot);
+    return;
+  }
+  Tick next_when;
+  std::uint64_t next_seq;
+  if (step.kind() == TrainStep::Kind::kAt) {
+    next_when = step.when;
+    if (next_when < now_) {
+      next_when = now_;
+      NotePastClamp();
     }
-    *out = std::move(event);
+    next_seq = step.seq() != 0 ? step.seq() : NextSeq();
+  } else {
+    // Arithmetic advance.  The fresh sequence lands exactly where a plain
+    // event scheduled right after the handler would have, which is what
+    // keeps event-chain-to-train conversions timing-invisible.
+    next_when = entry.when + t.stride;
+    next_seq = NextSeq();
+  }
+  queue_.push(QEntry::Make(next_when, next_seq, slot, true), now_);
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    const QEntry& entry = queue_.top(now_);
+    if (!EntryLive(entry)) {
+      std::uint32_t slot = entry.slot();
+      bool train = entry.train();
+      queue_.pop();
+      if (train) {
+        FreeTrainSlot(slot);  // drained entry of a cancelled train
+      }
+      continue;
+    }
+    DispatchTop(entry);
     return true;
   }
   return false;
 }
 
-void Simulator::Dispatch(Event&& event) {
-  now_ = event.when;
-  ++events_processed_;
-  Callback callback = std::move(event.callback);
-  callback();
-}
-
-bool Simulator::Step() {
-  Event event;
-  if (!PopNext(&event)) {
-    return false;
-  }
-  Dispatch(std::move(event));
-  return true;
-}
-
 std::uint64_t Simulator::RunUntil(Tick t) {
   std::uint64_t processed = 0;
   while (!queue_.empty()) {
-    if (queue_.top().when > t) {
-      // The head may be a cancelled entry with a stale time; skip those.
-      if (live_.count(queue_.top().seq) == 0) {
-        queue_.pop();
-        continue;
+    const QEntry& entry = queue_.top(now_);
+    if (!EntryLive(entry)) {
+      // A stale head may carry any timestamp (including one beyond t);
+      // discard it regardless so it never blocks the scan.
+      std::uint32_t slot = entry.slot();
+      bool train = entry.train();
+      queue_.pop();
+      if (train) {
+        FreeTrainSlot(slot);
       }
-      break;
-    }
-    Event event = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    if (live_.erase(event.seq) == 0) {
       continue;
     }
-    Dispatch(std::move(event));
+    if (entry.when > t) {
+      break;
+    }
+    DispatchTop(entry);
     ++processed;
   }
   if (now_ < t) {

@@ -6,13 +6,22 @@
 // Determinism: events fire in (time, insertion sequence) order, and all
 // randomness flows through seeded Rng instances, so every run is exactly
 // reproducible.
+//
+// Hot-path layout: the event queue holds 16-byte POD entries — a timing
+// wheel for the near-future slot grid over a 4-ary overflow heap for far
+// timers; callbacks and train state live in slab pools indexed by those
+// entries, so queue moves never touch a std::function and the
+// never-cancelled event touches no hash table.  Cancellation is inverted —
+// `Cancel` invalidates the pool slot (a generation check), and the stale
+// queue entry is discarded when it surfaces; events that are never
+// cancelled pay nothing.
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/common/time.h"
@@ -25,23 +34,135 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
-  // Identifies a scheduled event for cancellation.  Default-constructed ids
-  // are invalid.
+  // Identifies a scheduled event or train for cancellation.  `seq` is the
+  // creation sequence number (a generation tag: pool slots are recycled,
+  // sequence numbers never are), `slot` locates the pool slot.  Default-
+  // constructed ids are invalid.
   struct EventId {
     std::uint64_t seq = 0;
+    std::uint32_t slot = 0;
+    bool train = false;
     bool valid() const { return seq != 0; }
   };
+
+  // What a train handler wants to happen after the firing it just served:
+  // advance arithmetically, end the train, re-anchor to an explicit time
+  // (optionally with a tie-break sequence reserved earlier, see
+  // ReserveSeq()), or park — leave the queue but keep the slot so the owner
+  // can ResumeTrain() it later without paying slot churn.
+  // 16 bytes (kind shares a word with the 39-bit seq) so handlers return it
+  // in a register pair instead of through a hidden sret pointer — the return
+  // crosses an indirect-call boundary once per train firing.
+  struct TrainStep {
+    enum class Kind : std::uint8_t { kAuto, kDone, kAt, kPark };
+    Tick when = 0;
+    std::uint64_t seq_kind = 0;  // seq << 2 | kind
+
+    Kind kind() const { return static_cast<Kind>(seq_kind & 3); }
+    std::uint64_t seq() const { return seq_kind >> 2; }
+
+    static TrainStep Auto() { return TrainStep{}; }
+    static TrainStep Done() {
+      return TrainStep{0, std::uint64_t{static_cast<std::uint8_t>(Kind::kDone)}};
+    }
+    static TrainStep At(Tick when, std::uint64_t seq = 0) {
+      return TrainStep{when,
+                       seq << 2 | static_cast<std::uint8_t>(Kind::kAt)};
+    }
+    static TrainStep Park() {
+      return TrainStep{0, std::uint64_t{static_cast<std::uint8_t>(Kind::kPark)}};
+    }
+  };
+  // Called with the 0-based firing index k.
+  using TrainHandler = std::function<TrainStep(std::uint32_t k)>;
+  // Raw-handler variant: a free function plus two context words.  Trains on
+  // the per-byte hot path (link delivery on short links starts one train
+  // per symbol) use this to skip std::function construction, indirection,
+  // and teardown entirely.
+  using TrainFn = TrainStep (*)(void* ctx, std::uint64_t arg, std::uint32_t k);
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
+  // Schedules `callback` at `when`.  A `when` in the past is clamped to now
+  // and counted in the `sim.schedule_past_clamped` metric — debug and
+  // release builds deliberately behave identically here.
   EventId ScheduleAt(Tick when, Callback callback);
   EventId ScheduleAfter(Tick delay, Callback callback) {
     return ScheduleAt(now_ + delay, std::move(callback));
   }
 
-  // Returns true if the event existed and had not yet fired.
+  // --- train events -----------------------------------------------------
+  //
+  // A train is an arithmetic (or handler-steered) sequence of firings that
+  // keeps exactly ONE queue entry alive: after each firing the entry
+  // re-sifts itself to the next firing time instead of being freed.  A
+  // packet's worth of byte deliveries costs one pool slot, one handler
+  // allocation, and one live queue entry — versus one of each per byte with
+  // plain events.
+  //
+  // Determinism contract: simultaneous events fire in sequence order, and a
+  // re-sift takes a fresh sequence number exactly where a plain event would
+  // have been scheduled (right after the handler returns), so converting an
+  // event-per-firing chain to a train is timing-invisible.  When the
+  // tie-break position must be claimed *earlier* than the re-sift (the link
+  // reserves a byte's delivery order at transmit time), reserve a sequence
+  // with ReserveSeq() and pass it via TrainStep::At / ScheduleTrainAt.
+
+  // Fires handler(0..count-1) at start, start+stride, ...; `count` 0 means
+  // unbounded (the handler ends the train with TrainStep::Done()).  The
+  // handler's TrainStep can override the arithmetic advance per firing.
+  EventId ScheduleTrain(Tick start, Tick stride, std::uint32_t count,
+                        TrainHandler handler);
+  // Train with an explicit first firing time and (optionally) a reserved
+  // sequence for it; stride defaults to 0 so the handler steers every step.
+  EventId ScheduleTrainAt(Tick start, std::uint64_t seq, TrainHandler handler,
+                          Tick stride = 0, std::uint32_t count = 0);
+  // Raw-handler equivalent of ScheduleTrainAt (see TrainFn).
+  EventId ScheduleTrainRawAt(Tick start, std::uint64_t seq, TrainFn fn,
+                             void* ctx, std::uint64_t arg, Tick stride = 0,
+                             std::uint32_t count = 0);
+
+  // Re-queues a train that parked itself (TrainStep::Park).  Heap-identical
+  // to ending the train and scheduling a fresh one at (when, seq) — only the
+  // slot alloc/init/free churn is skipped — so the link's start-a-train-per-
+  // symbol pattern on short links costs one heap push per symbol instead.
+  // A parked train is not pending (it holds no queue entry); Cancel frees
+  // it immediately.  Returns false if `id` does not name a parked train.
+  // Inline: short links park and resume once per delivered symbol.
+  bool ResumeTrain(EventId id, Tick when, std::uint64_t seq = 0) {
+    if (!id.valid() || !id.train || id.slot >= trains_.size()) {
+      return false;
+    }
+    TrainSlot& t = trains_[id.slot];
+    if (t.id_seq != id.seq || !t.parked || t.cancelled) {
+      return false;
+    }
+    if (when < now_) {
+      when = now_;
+      NotePastClamp();
+    }
+    if (seq == 0) {
+      seq = NextSeq();
+    }
+    t.parked = false;
+    queue_.push(QEntry::Make(when, seq, id.slot, true), now_);
+    ++live_count_;
+    return true;
+  }
+
+  // Claims the next insertion sequence number without scheduling anything.
+  // Two events at the same tick fire in sequence order, so a component that
+  // knows *now* that a firing will be needed later can fix its tie-break
+  // position now (used by Link to keep byte-train delivery order-identical
+  // to the per-byte-event engine it replaced).
+  std::uint64_t ReserveSeq() { return NextSeq(); }
+  // Schedules a plain event whose tie-break sequence was reserved earlier.
+  EventId ScheduleAtReserved(Tick when, std::uint64_t seq, Callback callback);
+
+  // Returns true if the event (or train) existed and had not yet fired (for
+  // trains: not yet ended).  O(1), touches only the named pool slot.
   bool Cancel(EventId id);
 
   // Runs the earliest pending event.  Returns false if the queue is empty.
@@ -55,8 +176,10 @@ class Simulator {
   std::uint64_t Run(std::uint64_t max_events = UINT64_MAX);
 
   Tick now() const { return now_; }
-  bool empty() const { return live_.empty(); }
-  std::size_t pending() const { return live_.size(); }
+  bool empty() const { return live_count_ == 0; }
+  // Live schedulables: pending plain events plus active trains (a train
+  // counts once, however many firings it has left).
+  std::size_t pending() const { return live_count_; }
   std::uint64_t events_processed() const { return events_processed_; }
 
   // Telemetry shared by every component in this simulation: a network-wide
@@ -69,29 +192,297 @@ class Simulator {
   const obs::TraceRecorder& trace() const { return trace_; }
 
  private:
-  struct Event {
+  // Sequence numbers and pool-slot indices share one word in the heap entry
+  // (seq in the high bits so key order == seq order among equal times).
+  // 39 bits of sequence bounds a run at ~5.5e11 schedules and 24 bits of
+  // slot bound the pools at ~16.7M concurrently-live events — both checked
+  // where they could first overflow.
+  static constexpr int kSlotBits = 24;
+  static constexpr int kTrainBits = 1;
+  static constexpr std::uint64_t kMaxSeq =
+      (std::uint64_t{1} << (64 - kSlotBits - kTrainBits)) - 1;
+  static constexpr std::uint32_t kMaxSlot =
+      (std::uint32_t{1} << kSlotBits) - 1;
+
+  // One heap entry, 16 bytes so a 4-ary level's children share one cache
+  // line.  Trivially copyable: sifts move plain words, never a
+  // std::function, and top() is read without const_cast tricks.
+  struct QEntry {
     Tick when;
-    std::uint64_t seq;
-    Callback callback;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) {
-        return a.when > b.when;
-      }
-      return a.seq > b.seq;
+    std::uint64_t key;  // seq << 25 | slot << 1 | train
+
+    static QEntry Make(Tick when, std::uint64_t seq, std::uint32_t slot,
+                       bool train) {
+      return QEntry{when, seq << (kSlotBits + kTrainBits) |
+                              std::uint64_t{slot} << kTrainBits |
+                              std::uint64_t{train}};
     }
+    std::uint64_t seq() const { return key >> (kSlotBits + kTrainBits); }
+    std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key >> kTrainBits) & kMaxSlot;
+    }
+    bool train() const { return (key & 1) != 0; }
+  };
+  // 4-ary min-heap over QEntry.  Used as the *overflow* tier of the
+  // two-tier EventQueue below: only events beyond the timing wheel's window
+  // (millisecond-scale timers) live here, so its operations are off the
+  // per-byte hot path.  Arity 4 halves the depth versus a binary heap and
+  // keeps each level's four children inside 1.5 cache lines; dispatch order
+  // is arity-independent because (when, seq) is a total order.
+  class EventHeap {
+   public:
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+    const QEntry& top() const { return heap_[0]; }
+
+    void push(QEntry e) {
+      std::size_t i = heap_.size();
+      heap_.push_back(e);  // placeholder; hole-percolate e into position
+      while (i > 0) {
+        std::size_t parent = (i - 1) / kArity;
+        if (!Before(e, heap_[parent])) {
+          break;
+        }
+        heap_[i] = heap_[parent];
+        i = parent;
+      }
+      heap_[i] = e;
+    }
+
+    // Bottom-up pop: percolate the root hole down the min-child path to a
+    // leaf, then sift the detached last element up from there.  The last
+    // element is almost always a recent far-future push, so the sift-up
+    // terminates immediately — this trades the per-level "compare against
+    // the sifted element" of the classic pop for one compare total.
+    void pop() {
+      QEntry last = heap_.back();
+      heap_.pop_back();
+      std::size_t n = heap_.size();
+      if (n == 0) {
+        return;
+      }
+      std::size_t i = 0;
+      for (;;) {
+        std::size_t first = kArity * i + 1;
+        if (first >= n) {
+          break;
+        }
+        std::size_t end = first + kArity < n ? first + kArity : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (Before(heap_[c], heap_[best])) {
+            best = c;
+          }
+        }
+        heap_[i] = heap_[best];
+        i = best;
+      }
+      while (i > 0) {
+        std::size_t parent = (i - 1) / kArity;
+        if (!Before(last, heap_[parent])) {
+          break;
+        }
+        heap_[i] = heap_[parent];
+        i = parent;
+      }
+      heap_[i] = last;
+    }
+
+    // (when, key) lexicographic order as ONE branchless 128-bit compare —
+    // the sift loops scan 4 children per level, and data-dependent branches
+    // there are unpredictable.  `when` is never negative (schedules are
+    // clamped to now), so unsigned order equals signed order; seq occupies
+    // the key's high bits and is unique among live entries, so key order is
+    // seq order.
+    static bool Before(const QEntry& a, const QEntry& b) {
+      using U128 = unsigned __int128;
+      U128 ka = (U128{static_cast<std::uint64_t>(a.when)} << 64) | a.key;
+      U128 kb = (U128{static_cast<std::uint64_t>(b.when)} << 64) | b.key;
+      return ka < kb;
+    }
+
+   private:
+    static constexpr std::size_t kArity = 4;
+
+    std::vector<QEntry> heap_;
   };
 
-  // Pops the next non-cancelled event, or returns false.
-  bool PopNext(Event* out);
-  void Dispatch(Event&& event);
+  // Two-tier event queue: a 256-bucket timing wheel over 128 ns quanta
+  // (a 32.8 µs window) in front of the 4-ary overflow heap.  The traffic
+  // hot path lives entirely on the 80 ns slot grid within one propagation
+  // delay of now, so its pushes and pops are O(1) appends/advances on
+  // small per-bucket vectors; only far-future work (millisecond-scale
+  // Autopilot timers) takes the heap path, and it migrates into the wheel
+  // as the clock approaches.
+  //
+  // Exactness: dispatch order is the same total (when, seq) order the heap
+  // alone gave.  Buckets are visited in time order; within a bucket the
+  // vector is kept sorted on insert.  The tail append is already in order
+  // for all but two rare cases — a reserved sequence (claimed at transmit
+  // time) entering after a later-reserved same-when entry, and a heap
+  // migration landing behind fresh pushes — which pay a bounded backward
+  // insertion.  The scan can start at now's quantum because every queue
+  // entry, live or stale, satisfies when >= now: the dispatch loop never
+  // advances the clock past an undrained entry (stale heads are popped as
+  // they surface, even past a RunUntil horizon).  That same invariant
+  // bounds all wheel entries to [quantum(now), quantum(now) + 256), so the
+  // ring indexing never aliases two quanta.
+  class EventQueue {
+   public:
+    bool empty() const { return wheel_size_ == 0 && far_.empty(); }
+    std::size_t size() const { return wheel_size_ + far_.size(); }
+
+    // Returns the (when, seq)-minimal entry.  Far-heap entries migrate into
+    // the wheel only once their quantum enters the scan window — never
+    // beyond it, which is what keeps every wheel entry inside
+    // [quantum(now), quantum(now) + 256) and the ring indexing alias-free.
+    // With the wheel empty the heap top is returned in place (the clock may
+    // stop short of it, and parking it in a bucket outside the window would
+    // let a later scan surface it at an aliased position, ahead of nearer
+    // entries still in the heap).  Precondition: queue not empty; `now` is
+    // the caller's clock (every entry's when is >= now).
+    const QEntry& top(Tick now) {
+      if (wheel_size_ == 0) {
+        top_in_far_ = true;
+        return far_.top();
+      }
+      top_in_far_ = false;
+      std::uint64_t q = Quantum(now);
+      for (;;) {
+        while (!far_.empty() && Quantum(far_.top().when) <= q) {
+          PlaceInBucket(far_.top());
+          ++wheel_size_;
+          far_.pop();
+        }
+        Bucket& b = ring_[q & kMask];
+        if (b.head < b.v.size()) {
+          last_q_ = q;
+          return b.v[b.head];
+        }
+        ++q;
+      }
+    }
+
+    // Pops the entry the immediately preceding top() returned.
+    void pop() {
+      if (top_in_far_) {
+        far_.pop();
+        return;
+      }
+      Bucket& b = ring_[last_q_ & kMask];
+      if (++b.head == b.v.size()) {
+        b.v.clear();  // keeps capacity; ring buckets recycle their storage
+        b.head = 0;
+      }
+      --wheel_size_;
+    }
+
+    void push(const QEntry& e, Tick now) {
+      if (Quantum(e.when) - Quantum(now) >= kBuckets) {
+        far_.push(e);
+      } else {
+        PlaceInBucket(e);
+        ++wheel_size_;
+      }
+    }
+
+   private:
+    static constexpr int kQuantumBits = 7;        // 128 ns buckets
+    static constexpr std::uint64_t kBuckets = 256;  // 32.8 µs window
+    static constexpr std::uint64_t kMask = kBuckets - 1;
+
+    struct Bucket {
+      std::uint32_t head = 0;  // entries before head are already popped
+      std::vector<QEntry> v;
+    };
+
+    static std::uint64_t Quantum(Tick when) {
+      return static_cast<std::uint64_t>(when) >> kQuantumBits;
+    }
+
+    // Append keeping the bucket sorted by (when, key); see the class
+    // comment for why the tail check nearly always passes.  A backward
+    // insertion never moves below `head`: entries there already fired, and
+    // an entry sorting before them would also have fired had it been
+    // present, so the head position is exactly where the heap would have
+    // surfaced it next.
+    void PlaceInBucket(const QEntry& e) {
+      Bucket& b = ring_[Quantum(e.when) & kMask];
+      if (b.v.size() == b.head || !EventHeap::Before(e, b.v.back())) {
+        b.v.push_back(e);
+        return;
+      }
+      std::size_t i = b.v.size();
+      while (i > b.head && EventHeap::Before(e, b.v[i - 1])) {
+        --i;
+      }
+      b.v.insert(b.v.begin() + i, e);
+    }
+
+    std::uint64_t last_q_ = 0;   // quantum of the last top()'s bucket
+    bool top_in_far_ = false;    // last top() came from the overflow heap
+    std::size_t wheel_size_ = 0;
+    std::array<Bucket, kBuckets> ring_;
+    EventHeap far_;
+  };
+
+  struct EventSlot {
+    Callback callback;
+    std::uint64_t seq = 0;  // 0 = free; else generation tag of the entry
+  };
+  // Field order: the raw-dispatch fields a firing touches come first so
+  // they share a cache line; the 32-byte std::function (cold for raw
+  // trains) sits last.
+  struct TrainSlot {
+    TrainFn fn = nullptr;      // raw fast path; ctx/arg are its context
+    void* ctx = nullptr;
+    std::uint64_t arg = 0;
+    std::uint32_t next_k = 0;
+    std::uint32_t count = 0;  // 0 = unbounded
+    bool cancelled = false;
+    bool parked = false;  // no queue entry; waiting for ResumeTrain
+    std::uint64_t id_seq = 0;  // creation seq (EventId tag); 0 = free
+    Tick stride = 0;
+    TrainHandler handler;      // used when fn == nullptr
+  };
+
+  // Allocates the next sequence number, halting (deterministically, with a
+  // diagnostic) if the 39-bit heap-key field would overflow.
+  std::uint64_t NextSeq() {
+    if (next_seq_ > kMaxSeq) {
+      SeqOverflow();
+    }
+    return next_seq_++;
+  }
+  [[noreturn]] static void SeqOverflow();
+  [[noreturn]] static void SlotOverflow();
+
+  std::uint32_t AllocEventSlot();
+  std::uint32_t AllocTrainSlot();
+  void FreeEventSlot(std::uint32_t slot);
+  void FreeTrainSlot(std::uint32_t slot);
+  // Is this queue entry still current?  Frees the slot of a drained
+  // cancelled train as a side effect.
+  bool EntryLive(const QEntry& entry);
+  // `entry` is the caller's copy of queue_.top() — passed in (two registers)
+  // so the dispatch loop reads the heap root exactly once per event.
+  void DispatchTop(QEntry entry);
+  void NotePastClamp();
 
   Tick now_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_set<std::uint64_t> live_;  // seqs scheduled and not fired
+  std::size_t live_count_ = 0;
+  EventQueue queue_;
+  std::vector<EventSlot> events_;
+  std::vector<std::uint32_t> free_events_;
+  std::vector<TrainSlot> trains_;
+  std::vector<std::uint32_t> free_trains_;
+#ifdef AUTONET_QUEUE_ORDER_CHECK
+  Tick check_last_when_ = 0;          // dispatch-order audit (debug builds)
+  std::uint64_t check_last_seq_ = 0;
+#endif
+  obs::Counter* past_clamped_ = nullptr;  // created on first clamp
   obs::MetricRegistry metrics_;
   obs::TraceRecorder trace_;
 };

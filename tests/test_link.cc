@@ -112,6 +112,66 @@ TEST(Link, RedundantDirectiveGeneratesNoEvent) {
   EXPECT_EQ(b.directives.size(), 1u);
 }
 
+TEST(Link, SupersededDirectiveDeliversOnlyLatest) {
+  // Two changes inside the same flow-slot period: the wire only carries the
+  // latest latched value, so the receiver must see exactly one directive.
+  Simulator sim;
+  Link link(&sim, 0.1);
+  RecordingEndpoint b;
+  link.Attach(Link::Side::kB, &b);
+  sim.RunUntil(10 * kSlotNs);  // mid flow-slot period
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStop);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStart);
+  sim.Run();
+  ASSERT_EQ(b.directives.size(), 1u);
+  EXPECT_EQ(b.directives[0], FlowDirective::kStart);
+}
+
+TEST(Link, SupersededDirectiveDeliversOnlyLatestReversedOrder) {
+  Simulator sim;
+  Link link(&sim, 0.1);
+  RecordingEndpoint b;
+  link.Attach(Link::Side::kB, &b);
+  sim.RunUntil(10 * kSlotNs);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStart);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStop);
+  sim.Run();
+  ASSERT_EQ(b.directives.size(), 1u);
+  EXPECT_EQ(b.directives[0], FlowDirective::kStop);
+}
+
+TEST(Link, DirectiveSupersededByNoneDeliversNothing) {
+  // Reverting to kNone before the flow slot cancels the pending delivery;
+  // absence of directives generates no event.
+  Simulator sim;
+  Link link(&sim, 0.1);
+  RecordingEndpoint b;
+  link.Attach(Link::Side::kB, &b);
+  sim.RunUntil(10 * kSlotNs);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStop);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kNone);
+  sim.Run();
+  EXPECT_TRUE(b.directives.empty());
+}
+
+TEST(Link, RedeliveryRacingInFlightChangeDoesNotDoubleDeliver) {
+  // A redelivery (endpoint attach, mode change) while a changed directive is
+  // still waiting for its flow slot must supersede the pending delivery, not
+  // add a second one.
+  Simulator sim;
+  Link link(&sim, 0.1);
+  RecordingEndpoint a;
+  RecordingEndpoint b;
+  link.Attach(Link::Side::kA, &a);
+  link.Attach(Link::Side::kB, &b);
+  sim.RunUntil(10 * kSlotNs);
+  link.SetFlowDirective(Link::Side::kA, FlowDirective::kStop);
+  link.Attach(Link::Side::kB, &b);  // re-attach redelivers latched directives
+  sim.Run();
+  ASSERT_EQ(b.directives.size(), 1u);
+  EXPECT_EQ(b.directives[0], FlowDirective::kStop);
+}
+
 TEST(Link, CutSilencesBothSides) {
   Simulator sim;
   Link link(&sim, 0.1);

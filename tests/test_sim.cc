@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <utility>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/random.h"
 #include "src/sim/simulator.h"
 #include "src/sim/timer.h"
@@ -81,6 +83,270 @@ TEST(Simulator, PendingCountTracksLiveEvents) {
   sim.Cancel(a);
   EXPECT_EQ(sim.pending(), 1u);
   sim.Run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNowAndCounts) {
+  Simulator sim;
+  sim.RunUntil(1000);
+  auto* clamped = sim.metrics().GetCounter("sim.schedule_past_clamped");
+  EXPECT_EQ(clamped->value(), 0u);
+  Tick fired_at = 0;
+  sim.ScheduleAt(200, [&] { fired_at = sim.now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 1000);  // clamped, not fired "in the past"
+  EXPECT_EQ(clamped->value(), 1u);
+}
+
+TEST(Simulator, RunUntilCancelledHeadBeyondTargetDoesNotBlock) {
+  // A cancelled entry may sit at the queue head with a timestamp beyond t;
+  // RunUntil must discard it and still advance the clock to t.
+  Simulator sim;
+  auto id = sim.ScheduleAt(5000, [] {});
+  sim.Cancel(id);
+  EXPECT_EQ(sim.RunUntil(1000), 0u);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, RunUntilEmptyQueueAdvancesClock) {
+  Simulator sim;
+  EXPECT_EQ(sim.RunUntil(750), 0u);
+  EXPECT_EQ(sim.now(), 750);
+}
+
+TEST(SimulatorTrain, ArithmeticFiringSequence) {
+  Simulator sim;
+  std::vector<std::pair<std::uint32_t, Tick>> fires;
+  sim.ScheduleTrain(100, 10, 5, [&](std::uint32_t k) {
+    fires.push_back({k, sim.now()});
+    return Simulator::TrainStep::Auto();
+  });
+  EXPECT_EQ(sim.pending(), 1u);  // one queue entry for the whole sequence
+  sim.Run();
+  ASSERT_EQ(fires.size(), 5u);
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    EXPECT_EQ(fires[k].first, k);
+    EXPECT_EQ(fires[k].second, 100 + 10 * k);
+  }
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTrain, UnboundedTrainEndsOnDone) {
+  Simulator sim;
+  int fires = 0;
+  sim.ScheduleTrain(50, 25, 0, [&](std::uint32_t k) {
+    ++fires;
+    return k == 3 ? Simulator::TrainStep::Done()
+                  : Simulator::TrainStep::Auto();
+  });
+  sim.Run();
+  EXPECT_EQ(fires, 4);
+  EXPECT_EQ(sim.now(), 50 + 3 * 25);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTrain, AtOverridesArithmeticAdvance) {
+  Simulator sim;
+  std::vector<Tick> times;
+  sim.ScheduleTrain(100, 10, 4, [&](std::uint32_t k) {
+    times.push_back(sim.now());
+    // Re-anchor the second firing far away; later firings resume the stride
+    // from the re-anchored position.
+    return k == 0 ? Simulator::TrainStep::At(500)
+                  : Simulator::TrainStep::Auto();
+  });
+  sim.Run();
+  EXPECT_EQ(times, (std::vector<Tick>{100, 500, 510, 520}));
+}
+
+TEST(SimulatorTrain, ConversionIsTimingInvisible) {
+  // A train and a self-rescheduling event chain interleaved with plain
+  // events at the same ticks must fire in identical order: the train's
+  // re-sift takes a fresh sequence exactly where the chain's re-schedule
+  // would have.
+  auto run_chain = [](std::vector<int>* order) {
+    Simulator sim;
+    std::function<void(std::uint32_t)> fire = [&](std::uint32_t k) {
+      order->push_back(100 + static_cast<int>(k));
+      if (k + 1 < 3) {
+        Tick next = sim.now() + 10;
+        sim.ScheduleAt(next, [&fire, k] { fire(k + 1); });
+      }
+    };
+    sim.ScheduleAt(10, [&fire] { fire(0); });
+    sim.ScheduleAt(20, [&] { order->push_back(1); });  // ties with firing 1
+    sim.ScheduleAt(30, [&] { order->push_back(2); });  // ties with firing 2
+    sim.Run();
+  };
+  auto run_train = [](std::vector<int>* order) {
+    Simulator sim;
+    sim.ScheduleTrain(10, 10, 3, [&](std::uint32_t k) {
+      order->push_back(100 + static_cast<int>(k));
+      return Simulator::TrainStep::Auto();
+    });
+    sim.ScheduleAt(20, [&] { order->push_back(1); });
+    sim.ScheduleAt(30, [&] { order->push_back(2); });
+    sim.Run();
+  };
+  std::vector<int> chain_order;
+  std::vector<int> train_order;
+  run_chain(&chain_order);
+  run_train(&train_order);
+  EXPECT_EQ(train_order, chain_order);
+}
+
+TEST(SimulatorTrain, ReservedSeqFixesTieBreakPosition) {
+  // A sequence reserved before a later schedule claims the earlier tie-break
+  // slot even though the event is pushed afterwards.
+  Simulator sim;
+  std::vector<int> order;
+  std::uint64_t reserved = sim.ReserveSeq();
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.ScheduleAtReserved(100, reserved, [&] { order.push_back(1); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  // Same property via a train's At(when, seq) re-anchor.
+  order.clear();
+  std::uint64_t train_seq = sim.ReserveSeq();
+  Tick t = sim.now() + 100;
+  sim.ScheduleTrainAt(t, train_seq, [&](std::uint32_t) {
+    order.push_back(1);
+    return Simulator::TrainStep::Done();
+  });
+  sim.ScheduleAt(t, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(SimulatorTrain, CancelStopsRemainingFirings) {
+  Simulator sim;
+  int fires = 0;
+  auto id = sim.ScheduleTrain(100, 10, 0, [&](std::uint32_t) {
+    ++fires;
+    return Simulator::TrainStep::Auto();
+  });
+  sim.RunUntil(120);  // firings at 100, 110, 120
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));  // second cancel is a no-op
+  sim.Run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTrain, HandlerMayCancelOwnTrain) {
+  Simulator sim;
+  Simulator::EventId id{};
+  int fires = 0;
+  id = sim.ScheduleTrain(100, 10, 0, [&](std::uint32_t k) {
+    ++fires;
+    if (k == 2) {
+      EXPECT_TRUE(sim.Cancel(id));
+    }
+    return Simulator::TrainStep::Auto();
+  });
+  sim.Run();
+  EXPECT_EQ(fires, 3);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTrain, RawTrainFires) {
+  struct Ctx {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> fires;
+  } ctx;
+  Simulator sim;
+  sim.ScheduleTrainRawAt(
+      200, 0,
+      [](void* self, std::uint64_t arg, std::uint32_t k) {
+        static_cast<Ctx*>(self)->fires.push_back({arg, k});
+        return Simulator::TrainStep::Auto();
+      },
+      &ctx, 77, /*stride=*/5, /*count=*/3);
+  sim.Run();
+  ASSERT_EQ(ctx.fires.size(), 3u);
+  for (std::uint32_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(ctx.fires[k].first, 77u);
+    EXPECT_EQ(ctx.fires[k].second, k);
+  }
+  EXPECT_EQ(sim.now(), 210);
+}
+
+TEST(SimulatorTrain, ParkAndResume) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  auto id = sim.ScheduleTrain(100, 0, 0, [&](std::uint32_t k) {
+    fires.push_back(sim.now());
+    return k == 0 ? Simulator::TrainStep::Park()
+                  : Simulator::TrainStep::Done();
+  });
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{100}));
+  EXPECT_TRUE(sim.empty());  // parked trains are not pending
+  EXPECT_TRUE(sim.ResumeTrain(id, 300));
+  EXPECT_FALSE(sim.ResumeTrain(id, 300));  // not parked while queued
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{100, 300}));
+  EXPECT_FALSE(sim.ResumeTrain(id, 400));  // train ended; slot released
+}
+
+TEST(SimulatorTrain, CancelOfParkedTrainFreesSlot) {
+  Simulator sim;
+  auto id = sim.ScheduleTrain(10, 0, 0, [&](std::uint32_t) {
+    return Simulator::TrainStep::Park();
+  });
+  sim.Run();
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.ResumeTrain(id, 100));
+  EXPECT_FALSE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTrain, ResumeInPastClampsToNow) {
+  Simulator sim;
+  std::vector<Tick> fires;
+  auto id = sim.ScheduleTrain(100, 0, 0, [&](std::uint32_t k) {
+    fires.push_back(sim.now());
+    return k == 0 ? Simulator::TrainStep::Park()
+                  : Simulator::TrainStep::Done();
+  });
+  sim.RunUntil(1000);
+  auto* clamped = sim.metrics().GetCounter("sim.schedule_past_clamped");
+  std::uint64_t before = clamped->value();
+  EXPECT_TRUE(sim.ResumeTrain(id, 500));  // in the past
+  sim.Run();
+  EXPECT_EQ(fires, (std::vector<Tick>{100, 1000}));
+  EXPECT_EQ(clamped->value(), before + 1);
+}
+
+TEST(Simulator, InterleavedCancelAndDispatchAtSameTick) {
+  // Events and a train all at one timestamp, with handlers cancelling
+  // not-yet-fired entries at that same tick.  Exercises the stale-entry
+  // drain in Step/RunUntil against live dispatches; run under ASan/UBSan in
+  // CI this also checks the freed-slot recycling.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Simulator::EventId> ids;
+  Simulator::EventId train_id{};
+  ids.push_back(sim.ScheduleAt(100, [&] {
+    order.push_back(0);
+    sim.Cancel(ids[2]);      // plain event later at this tick
+    sim.Cancel(train_id);    // train later at this tick
+  }));
+  ids.push_back(sim.ScheduleAt(100, [&] { order.push_back(1); }));
+  ids.push_back(sim.ScheduleAt(100, [&] { order.push_back(2); }));
+  train_id = sim.ScheduleTrain(100, 10, 0, [&](std::uint32_t) {
+    order.push_back(3);
+    return Simulator::TrainStep::Auto();
+  });
+  ids.push_back(sim.ScheduleAt(100, [&] {
+    order.push_back(4);
+    // Re-use the freed slots at the same tick from inside a handler.
+    sim.ScheduleAt(100, [&] { order.push_back(5); });
+  }));
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 4, 5}));
   EXPECT_TRUE(sim.empty());
 }
 
