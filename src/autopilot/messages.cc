@@ -31,11 +31,23 @@ std::optional<ConnectivityMsg> ConnectivityMsg::Parse(
   m.echo_uid = r.ReadUid();
   m.echo_port = r.U8();
   m.echo_seq = r.U64();
-  if (!r.ok() || (m.kind != Kind::kProbe && m.kind != Kind::kReply)) {
+  if (!r.ok() || !r.AtEnd() ||
+      (m.kind != Kind::kProbe && m.kind != Kind::kReply)) {
     return std::nullopt;
   }
   return m;
 }
+
+// Wire bools must be canonical (0 or 1): any other value would be accepted,
+// then re-serialize differently from what was received — the corruption
+// would survive the parse undetected.
+namespace {
+bool ReadBool(ByteReader& r, bool* out) {
+  std::uint8_t v = r.U8();
+  *out = v != 0;
+  return v <= 1;
+}
+}  // namespace
 
 // --- ReconfigMsg ---
 
@@ -140,7 +152,9 @@ std::optional<ReconfigMsg> ReconfigMsg::Parse(
       break;
     case Kind::kPosAck:
       m.ack_seq = r.U32();
-      m.is_parent = r.U8() != 0;
+      if (!ReadBool(r, &m.is_parent)) {
+        return std::nullopt;
+      }
       break;
     case Kind::kReport:
     case Kind::kConfig:
@@ -158,7 +172,9 @@ std::optional<ReconfigMsg> ReconfigMsg::Parse(
       break;
     case Kind::kDelta:
       m.payload_seq = r.U32();
-      m.delta_add = r.U8() != 0;
+      if (!ReadBool(r, &m.delta_add)) {
+        return std::nullopt;
+      }
       m.delta_a_uid = r.ReadUid();
       m.delta_a_port = r.U8();
       m.delta_b_uid = r.ReadUid();
@@ -171,7 +187,7 @@ std::optional<ReconfigMsg> ReconfigMsg::Parse(
     default:
       return std::nullopt;
   }
-  if (!r.ok()) {
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
   return m;
@@ -274,7 +290,8 @@ std::optional<HostAddressMsg> HostAddressMsg::Parse(
   m.switch_uid = r.ReadUid();
   m.short_address = r.U16();
   m.epoch = r.U64();
-  if (!r.ok() || (m.kind != Kind::kRequest && m.kind != Kind::kReply)) {
+  if (!r.ok() || !r.AtEnd() ||
+      (m.kind != Kind::kRequest && m.kind != Kind::kReply)) {
     return std::nullopt;
   }
   return m;
@@ -317,7 +334,18 @@ std::optional<SrpMsg> SrpMsg::Parse(const std::vector<std::uint8_t>& payload) {
   for (int i = 0; i < nbody; ++i) {
     m.body.push_back(r.U8());
   }
-  if (!r.ok()) {
+  switch (m.op) {
+    case Op::kEcho:
+    case Op::kGetState:
+    case Op::kGetTopology:
+    case Op::kGetLog:
+    case Op::kGetStats:
+    case Op::kReply:
+      break;
+    default:
+      return std::nullopt;  // unknown op: likely a corrupted byte
+  }
+  if (!r.ok() || !r.AtEnd()) {
     return std::nullopt;
   }
   return m;

@@ -259,6 +259,19 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
     return;  // stale epoch: ignore (section 6.6.2)
   }
   if (msg.epoch > epoch_) {
+    if (msg.epoch - epoch_ > kMaxEpochJump) {
+      // Legitimate epochs advance by small increments from a network that
+      // booted at zero; a jump this large can only be corruption that beat
+      // the CRC.  Joining it would poison the whole network with a counter
+      // parked near its ceiling (and the next wrap would break the
+      // stale-epoch rule), so drop the message instead — retransmission
+      // repairs the conversation at the real epoch.
+      log_->Logf(sim_->now(),
+                 "reconfig: ignored implausible epoch %llu (current %llu)",
+                 static_cast<unsigned long long>(msg.epoch),
+                 static_cast<unsigned long long>(epoch_));
+      return;
+    }
     JoinEpoch(msg.epoch, "higher epoch seen");
   }
   PortState& ps = ports_[inport];

@@ -47,6 +47,13 @@ namespace autonet {
 
 class ReconfigEngine {
  public:
+  // Largest believable forward epoch jump in a received message.  A network
+  // reconfiguring every 100 ms for a decade stays under 2^32 epochs, while
+  // a corrupted epoch field that slipped past the CRC is uniform over 64
+  // bits — beyond this distance the message is dropped as damaged rather
+  // than joined (see OnMessage).
+  static constexpr std::uint64_t kMaxEpochJump = std::uint64_t{1} << 32;
+
   struct Callbacks {
     // Queue a reconfiguration message out the given port (the caller
     // applies control-processor send costs).

@@ -17,11 +17,19 @@ class Skeptic {
   Skeptic(Tick base_holddown, Tick max_holddown, Tick forgiveness)
       : base_(base_holddown), max_(max_holddown), forgiveness_(forgiveness) {}
 
+  // Doublings beyond this cannot raise the holddown further: 62 doublings
+  // of even a 1 ns base already exceed any representable Tick, so capping
+  // the level here changes no holddown while keeping relapse bookkeeping
+  // (and the forgiveness debt) bounded.
+  static constexpr int kMaxLevel = 62;
+
   // A fault occurred at `now`.
   void Penalize(Tick now) {
     // First account for good service since the last event.
     Forgive(now);
-    ++level_;
+    if (level_ < kMaxLevel) {
+      ++level_;
+    }
     last_event_ = now;
   }
 
@@ -30,6 +38,12 @@ class Skeptic {
     Forgive(now);
     Tick holddown = base_;
     for (int i = 0; i < level_ && holddown < max_; ++i) {
+      if (holddown > max_ / 2) {
+        // Doubling would pass max_ (and could overflow Tick when max_ sits
+        // near the type limit); the result saturates either way.
+        holddown = max_;
+        break;
+      }
       holddown *= 2;
     }
     return std::min(holddown, max_);

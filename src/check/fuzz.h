@@ -1,0 +1,132 @@
+// The deterministic structure-aware message fuzzer (protocol correctness
+// harness, part 1).  It exercises the control-protocol parsers at the
+// ByteWriter/ByteReader boundary with three kinds of input:
+//
+//   identity    a valid serialized body, unmodified — must be accepted and
+//               re-serialize to exactly the received bytes
+//   mutation    a valid body put through one mutation from a fixed
+//               dictionary (bit flips, truncation, trailing junk, field
+//               swaps, epoch/UID skew, ...) — may be rejected, but if a
+//               parser accepts it, re-serialization must reproduce the
+//               received bytes ("no parser accepts a message that
+//               round-trips differently": an accepted-but-altered message
+//               means corruption survived the parse undetected)
+//   injection   mutated bodies delivered as intact packets into the control
+//               processors of a live converged network (modeling corruption
+//               that escaped the CRC) — the network must stay consistent
+//               and its epoch must stay plausible
+//
+// Everything is a pure function of a seed: any finding reproduces with
+// `protocheck --fuzz N --fuzz-seed S` or `--inject N --topo T --seed S`.
+#ifndef SRC_CHECK_FUZZ_H_
+#define SRC_CHECK_FUZZ_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/random.h"
+
+namespace autonet {
+namespace check {
+
+// The four control-protocol wire formats under test.
+enum class MsgType {
+  kConnectivity = 0,
+  kReconfig = 1,
+  kHostAddress = 2,
+  kSrp = 3,
+};
+inline constexpr int kNumMsgTypes = 4;
+
+const char* MsgTypeName(MsgType type);
+bool MsgTypeFromName(const std::string& name, MsgType* out);
+
+std::string HexEncode(const std::vector<std::uint8_t>& bytes);
+bool HexDecode(const std::string& hex, std::vector<std::uint8_t>* out);
+
+// A randomly populated valid message of the given type, serialized.  Field
+// values are drawn from `rng`; the result always parses and round-trips.
+std::vector<std::uint8_t> GenerateValidBody(MsgType type, Rng& rng);
+
+// Applies one mutation from the dictionary to `bytes` (chosen by `rng`) and
+// names it in *mutation.  The identity mutation returns the input unchanged.
+std::vector<std::uint8_t> Mutate(std::vector<std::uint8_t> bytes, Rng& rng,
+                                 std::string* mutation);
+
+// The round-trip oracle.  Empty string when the invariant holds: the parser
+// either rejects `bytes`, or accepts them and Serialize(*parsed) == bytes.
+// `must_accept` additionally fails rejection (used for identity cases and
+// corpus accept entries — a parser that rejects its own output is broken in
+// the other direction).
+std::string CheckRoundTrip(MsgType type, const std::vector<std::uint8_t>& bytes,
+                           bool must_accept = false);
+
+struct FuzzFinding {
+  std::string type;      // message type name
+  std::string mutation;  // dictionary entry (or oracle name for injection)
+  std::string detail;    // one-line diagnosis
+  std::string hex;       // the offending body (empty for injection findings)
+  std::string reproducer;
+};
+
+struct FuzzReport {
+  int cases = 0;
+  int accepted = 0;
+  int rejected = 0;
+  std::vector<FuzzFinding> findings;
+  bool ok() const { return findings.empty(); }
+};
+
+// Runs `cases_per_type` generate+mutate+check rounds per message type.
+// Deterministic in `seed`.
+FuzzReport FuzzRoundTrip(std::uint64_t seed, int cases_per_type);
+
+// --- committed corpus ---
+//
+// Line format: `<type>:<accept|reject>:<hex>` (# comments and blank lines
+// ignored).  Accept entries must parse and round-trip byte-identically;
+// reject entries must not parse.
+
+struct CorpusEntry {
+  MsgType type = MsgType::kConnectivity;
+  bool accept = false;
+  std::vector<std::uint8_t> bytes;
+  int line = 0;  // source line, for diagnostics
+};
+
+bool ParseCorpus(const std::string& text, std::vector<CorpusEntry>* out,
+                 std::string* error);
+bool LoadCorpus(const std::string& path, std::vector<CorpusEntry>* out,
+                std::string* error);
+FuzzReport CheckCorpus(const std::vector<CorpusEntry>& entries);
+
+// --- live injection ---
+
+struct InjectConfig {
+  std::string topo = "small3";  // a check/chaos topology name
+  std::uint64_t seed = 1;
+  int count = 100;              // packets to inject
+  std::string reproducer_stem = "protocheck";
+};
+
+struct InjectReport {
+  bool booted = false;
+  int injected = 0;
+  std::uint64_t epoch_before = 0;
+  std::uint64_t epoch_after = 0;
+  std::vector<FuzzFinding> findings;
+  bool ok() const { return booted && findings.empty(); }
+};
+
+// Boots the named topology to consistency, then delivers `count` mutated
+// control-message bodies as intact packets straight into switch control
+// processors (the CRC-escaped-corruption model).  Afterwards the standard
+// chaos oracle battery must pass and the epoch must not have jumped beyond
+// ReconfigEngine::kMaxEpochJump.
+InjectReport FuzzInject(const InjectConfig& config);
+
+}  // namespace check
+}  // namespace autonet
+
+#endif  // SRC_CHECK_FUZZ_H_

@@ -47,6 +47,9 @@ class ByteReader {
  public:
   explicit ByteReader(const std::vector<std::uint8_t>& bytes)
       : bytes_(bytes.data()), size_(bytes.size()) {}
+  // The reader borrows the vector's storage, so binding a temporary would
+  // leave bytes_ dangling before the first read.
+  explicit ByteReader(const std::vector<std::uint8_t>&&) = delete;
   ByteReader(const std::uint8_t* bytes, std::size_t size)
       : bytes_(bytes), size_(size) {}
 
@@ -72,8 +75,25 @@ class ByteReader {
     std::uint64_t hi = U32();
     return lo | (hi << 32);
   }
-  Uid ReadUid() { return Uid(U64()); }
-  ShortAddress ReadShortAddress() { return ShortAddress(U16()); }
+  // Wire UIDs occupy 48 bits of a 64-bit field and wire short addresses 11
+  // bits of 16; every writer masks, so set bits above the mask can only be
+  // corruption.  Constructing the value types would silently drop them and
+  // make the accepted message re-serialize differently, so flag them as a
+  // read error instead.
+  Uid ReadUid() {
+    std::uint64_t v = U64();
+    if ((v & ~Uid::kMask) != 0) {
+      ok_ = false;
+    }
+    return Uid(v);
+  }
+  ShortAddress ReadShortAddress() {
+    std::uint16_t v = U16();
+    if ((v & ~ShortAddress::kMask) != 0) {
+      ok_ = false;
+    }
+    return ShortAddress(v);
+  }
 
   bool ok() const { return ok_; }
   std::size_t remaining() const { return size_ - pos_; }

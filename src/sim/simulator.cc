@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <utility>
 
 namespace autonet {
@@ -204,9 +205,17 @@ bool Simulator::EntryLive(const QEntry& entry) {
 }
 
 void Simulator::DispatchTop(QEntry entry) {
+  queue_.pop();
+  DispatchEntry(entry);
+}
+
+void Simulator::DispatchEntry(QEntry entry) {
 #ifdef AUTONET_QUEUE_ORDER_CHECK
-  if (entry.when < check_last_when_ ||
-      (entry.when == check_last_when_ && entry.seq() < check_last_seq_)) {
+  // Under a tie chooser, same-tick seq order is deliberately permuted; the
+  // audit only holds for the default order.
+  if (!chooser_ && (entry.when < check_last_when_ ||
+                    (entry.when == check_last_when_ &&
+                     entry.seq() < check_last_seq_))) {
     std::fprintf(stderr, "ORDER VIOLATION: (%lld,%llu) after (%lld,%llu)\n",
                  (long long)entry.when, (unsigned long long)entry.seq(),
                  (long long)check_last_when_,
@@ -218,7 +227,6 @@ void Simulator::DispatchTop(QEntry entry) {
 #endif
   now_ = entry.when;
   ++events_processed_;
-  queue_.pop();
   if (!entry.train()) {
     EventSlot& s = events_[entry.slot()];
     Callback callback = std::move(s.callback);
@@ -277,10 +285,107 @@ void Simulator::DispatchTop(QEntry entry) {
   queue_.push(QEntry::Make(next_when, next_seq, slot, true), now_);
 }
 
-bool Simulator::Step() {
+void Simulator::SetTieChooser(TieChooser chooser) {
+  chooser_ = std::move(chooser);
+  if (!chooser_ && !ready_batch_.empty()) {
+    // Return batched entries to the queue; they are live, at the current
+    // tick, and seq-sorted, so default order resumes exactly.
+    for (const QEntry& e : ready_batch_) {
+      queue_.push(e, now_);
+    }
+    ready_batch_.clear();
+  }
+#ifdef AUTONET_QUEUE_ORDER_CHECK
+  // Entries the chooser already permuted past may legitimately fire now;
+  // restart the audit at the current tick.
+  check_last_seq_ = 0;
+#endif
+}
+
+bool Simulator::StepChosen(Tick horizon) {
+  for (;;) {
+    if (ready_batch_.empty()) {
+      // Anchor the batch at the earliest live entry's tick.
+      for (;;) {
+        if (queue_.empty()) {
+          return false;
+        }
+        const QEntry entry = queue_.top(now_);
+        if (!EntryLive(entry)) {
+          queue_.pop();
+          if (entry.train()) {
+            FreeTrainSlot(entry.slot());
+          }
+          continue;
+        }
+        if (entry.when > horizon) {
+          return false;
+        }
+        queue_.pop();
+        ready_batch_.push_back(entry);
+        break;
+      }
+    }
+    const Tick when = ready_batch_.front().when;
+    if (when > horizon) {
+      return false;  // batch anchored beyond a (smaller) later horizon
+    }
+    // Merge every queued entry at the batch tick: the previous dispatch may
+    // have scheduled new ones, including reserved sequences that sort
+    // before existing batch members.
+    while (!queue_.empty()) {
+      const QEntry entry = queue_.top(now_);
+      if (!EntryLive(entry)) {
+        queue_.pop();
+        if (entry.train()) {
+          FreeTrainSlot(entry.slot());
+        }
+        continue;
+      }
+      if (entry.when != when) {
+        break;
+      }
+      queue_.pop();
+      auto it = ready_batch_.end();
+      while (it != ready_batch_.begin() && (it - 1)->seq() > entry.seq()) {
+        --it;
+      }
+      ready_batch_.insert(it, entry);
+    }
+    // Drop members cancelled since they were pulled (an earlier choice this
+    // tick may have cancelled them).
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < ready_batch_.size(); ++i) {
+      if (EntryLive(ready_batch_[i])) {
+        ready_batch_[w++] = ready_batch_[i];
+      } else if (ready_batch_[i].train()) {
+        FreeTrainSlot(ready_batch_[i].slot());
+      }
+    }
+    ready_batch_.resize(w);
+    if (ready_batch_.empty()) {
+      continue;  // the whole tick was cancelled; anchor a new one
+    }
+    std::uint32_t pick = 0;
+    if (ready_batch_.size() > 1) {
+      pick = chooser_(when, static_cast<std::uint32_t>(ready_batch_.size()));
+      if (pick >= ready_batch_.size()) {
+        pick = 0;
+      }
+    }
+    QEntry chosen = ready_batch_[pick];
+    ready_batch_.erase(ready_batch_.begin() + pick);
+    DispatchEntry(chosen);
+    return true;
+  }
+}
+
+bool Simulator::StepDefault(Tick horizon) {
   while (!queue_.empty()) {
     const QEntry& entry = queue_.top(now_);
     if (!EntryLive(entry)) {
+      // A stale head may carry any timestamp (including one beyond the
+      // horizon); discard it regardless so it never blocks the scan.
       std::uint32_t slot = entry.slot();
       bool train = entry.train();
       queue_.pop();
@@ -289,31 +394,32 @@ bool Simulator::Step() {
       }
       continue;
     }
+    if (entry.when > horizon) {
+      return false;
+    }
     DispatchTop(entry);
     return true;
   }
   return false;
 }
 
+bool Simulator::Step() {
+  constexpr Tick kNoHorizon = std::numeric_limits<Tick>::max();
+  if (chooser_) {
+    return StepChosen(kNoHorizon);
+  }
+  return StepDefault(kNoHorizon);
+}
+
 std::uint64_t Simulator::RunUntil(Tick t) {
   std::uint64_t processed = 0;
-  while (!queue_.empty()) {
-    const QEntry& entry = queue_.top(now_);
-    if (!EntryLive(entry)) {
-      // A stale head may carry any timestamp (including one beyond t);
-      // discard it regardless so it never blocks the scan.
-      std::uint32_t slot = entry.slot();
-      bool train = entry.train();
-      queue_.pop();
-      if (train) {
-        FreeTrainSlot(slot);
-      }
-      continue;
-    }
-    if (entry.when > t) {
+  // Re-test the chooser every iteration: a dispatched callback may install
+  // or remove it mid-run (the interleaving explorer does exactly that).
+  for (;;) {
+    bool advanced = chooser_ ? StepChosen(t) : StepDefault(t);
+    if (!advanced) {
       break;
     }
-    DispatchTop(entry);
     ++processed;
   }
   if (now_ < t) {

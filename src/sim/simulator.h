@@ -165,6 +165,25 @@ class Simulator {
   // trains: not yet ended).  O(1), touches only the named pool slot.
   bool Cancel(EventId id);
 
+  // --- interleaving exploration hook ------------------------------------
+  //
+  // The (when, seq) total order makes every run reproducible, but it also
+  // means only ONE of the n! orderings of n same-tick events is ever
+  // observed.  A tie-break chooser turns the dispatch loop into a guided
+  // scheduler for exploring the others: before each dispatch, every live
+  // entry at the earliest pending tick is collected into a ready batch (in
+  // seq order) and chooser(now, n) picks which of the n fires next.  Events
+  // a dispatch schedules at the same tick join the batch before the next
+  // choice, and a choice of 0 every time reproduces the default (when, seq)
+  // order exactly — so a schedule is replayed by replaying the choice
+  // sequence.  The chooser is only consulted when n >= 2; out-of-range
+  // picks clamp to 0.  Passing nullptr restores default order (any batched
+  // entries return to the queue unharmed).  May be installed or removed
+  // from inside a callback.  Purely an exploration instrument: off, it
+  // costs one predicted branch per dispatch.
+  using TieChooser = std::function<std::uint32_t(Tick now, std::uint32_t n)>;
+  void SetTieChooser(TieChooser chooser);
+
   // Runs the earliest pending event.  Returns false if the queue is empty.
   bool Step();
 
@@ -467,6 +486,16 @@ class Simulator {
   // `entry` is the caller's copy of queue_.top() — passed in (two registers)
   // so the dispatch loop reads the heap root exactly once per event.
   void DispatchTop(QEntry entry);
+  // Runs an entry the caller already popped (the chooser path pulls entries
+  // into ready_batch_ before dispatching them).
+  void DispatchEntry(QEntry entry);
+  // One dispatch under the tie chooser: fills/merges the ready batch at the
+  // earliest pending tick <= horizon, lets the chooser pick, dispatches.
+  // Returns false when nothing within the horizon remains.
+  bool StepChosen(Tick horizon);
+  // Default-order equivalent used by Step/RunUntil (the pre-chooser loop
+  // body): peels stale heads, dispatches the earliest live entry.
+  bool StepDefault(Tick horizon);
   void NotePastClamp();
 
   Tick now_ = 0;
@@ -474,6 +503,10 @@ class Simulator {
   std::uint64_t events_processed_ = 0;
   std::size_t live_count_ = 0;
   EventQueue queue_;
+  TieChooser chooser_;
+  // Live same-tick entries pulled out of the queue for the chooser,
+  // seq-sorted; empty whenever chooser_ is unset.
+  std::vector<QEntry> ready_batch_;
   std::vector<EventSlot> events_;
   std::vector<std::uint32_t> free_events_;
   std::vector<TrainSlot> trains_;

@@ -58,6 +58,74 @@ TEST(Messages, ParseRejectsTruncated) {
   EXPECT_FALSE(ReconfigMsg::Parse(bytes).has_value());
 }
 
+TEST(Messages, ParseRejectsTrailingBytes) {
+  // A parser that ignores trailing bytes accepts a message that
+  // re-serializes differently from what was received — corruption (or a
+  // smuggled payload) surviving the parse undetected.
+  ConnectivityMsg c;
+  c.kind = ConnectivityMsg::Kind::kProbe;
+  auto cb = c.Serialize();
+  EXPECT_TRUE(ConnectivityMsg::Parse(cb).has_value());
+  cb.push_back(0);
+  EXPECT_FALSE(ConnectivityMsg::Parse(cb).has_value());
+
+  ReconfigMsg r;
+  r.kind = ReconfigMsg::Kind::kPosition;
+  auto rb = r.Serialize();
+  EXPECT_TRUE(ReconfigMsg::Parse(rb).has_value());
+  rb.push_back(0);
+  EXPECT_FALSE(ReconfigMsg::Parse(rb).has_value());
+
+  HostAddressMsg h;
+  auto hb = h.Serialize();
+  EXPECT_TRUE(HostAddressMsg::Parse(hb).has_value());
+  hb.push_back(0);
+  EXPECT_FALSE(HostAddressMsg::Parse(hb).has_value());
+
+  SrpMsg s;
+  auto sb = s.Serialize();
+  EXPECT_TRUE(SrpMsg::Parse(sb).has_value());
+  sb.push_back(0);
+  EXPECT_FALSE(SrpMsg::Parse(sb).has_value());
+}
+
+TEST(Messages, ParseRejectsNonCanonicalBools) {
+  // A wire bool of 2 would parse as true but re-serialize as 1.
+  ReconfigMsg m;
+  m.kind = ReconfigMsg::Kind::kPosAck;
+  m.is_parent = true;
+  auto bytes = m.Serialize();
+  EXPECT_TRUE(ReconfigMsg::Parse(bytes).has_value());
+  bytes.back() = 2;
+  EXPECT_FALSE(ReconfigMsg::Parse(bytes).has_value());
+
+  ReconfigMsg d;
+  d.kind = ReconfigMsg::Kind::kDelta;
+  d.delta_add = false;
+  auto db = d.Serialize();
+  // delta_add sits right after kind(1)+epoch(8)+sender(8)+payload_seq(4).
+  db[21] = 0xCC;
+  EXPECT_FALSE(ReconfigMsg::Parse(db).has_value());
+}
+
+TEST(Messages, ParseRejectsUidHighBits) {
+  // Wire UIDs are 48-bit; set bits above the mask would be silently
+  // dropped by the Uid constructor and vanish on re-serialization.
+  ConnectivityMsg c;
+  c.sender_uid = Uid(42);
+  auto bytes = c.Serialize();
+  EXPECT_TRUE(ConnectivityMsg::Parse(bytes).has_value());
+  bytes[16] = 0xFF;  // top byte of the little-endian sender_uid field
+  EXPECT_FALSE(ConnectivityMsg::Parse(bytes).has_value());
+}
+
+TEST(Messages, SrpParseRejectsUnknownOp) {
+  SrpMsg m;
+  auto bytes = m.Serialize();
+  bytes[0] = 5;  // between kGetStats (4) and kReply (100)
+  EXPECT_FALSE(SrpMsg::Parse(bytes).has_value());
+}
+
 TEST(Messages, RecordsTopologyRoundTrip) {
   NetTopology topo;
   topo.switches.resize(2);

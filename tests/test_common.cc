@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <type_traits>
+#include <vector>
+
 #include "src/common/crc.h"
 #include "src/common/event_log.h"
 #include "src/common/histogram.h"
@@ -174,6 +177,43 @@ TEST(Serialize, TruncatedReadSetsError) {
   w.U16(7);
   ByteReader r(w.bytes());
   EXPECT_EQ(r.U32(), 7u);  // reads past end: zeros
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ReaderRefusesTemporaryVectors) {
+  // The reader borrows the vector's storage; binding a temporary would
+  // leave it dangling before the first read.
+  static_assert(
+      !std::is_constructible_v<ByteReader, std::vector<std::uint8_t>>,
+      "ByteReader must not bind an rvalue vector");
+  static_assert(
+      std::is_constructible_v<ByteReader, const std::vector<std::uint8_t>&>,
+      "ByteReader still binds lvalue vectors");
+}
+
+TEST(Serialize, UidWithBitsAboveTheMaskIsAnError) {
+  // Only 48 bits of a wire UID field are meaningful and every writer
+  // masks, so set high bits can only be corruption.  Constructing the Uid
+  // would silently drop them — and the message would re-serialize
+  // differently from what was received.
+  ByteWriter w;
+  w.U64(Uid::kMask + 1);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.ReadUid(), Uid(0));
+  EXPECT_FALSE(r.ok());
+
+  ByteWriter w2;
+  w2.WriteUid(Uid(0xABCDEF));
+  ByteReader r2(w2.bytes());
+  EXPECT_EQ(r2.ReadUid(), Uid(0xABCDEF));
+  EXPECT_TRUE(r2.ok());
+}
+
+TEST(Serialize, ShortAddressWithBitsAboveTheMaskIsAnError) {
+  ByteWriter w;
+  w.U16(static_cast<std::uint16_t>(ShortAddress::kMask + 1));
+  ByteReader r(w.bytes());
+  r.ReadShortAddress();
   EXPECT_FALSE(r.ok());
 }
 

@@ -350,6 +350,143 @@ TEST(Simulator, InterleavedCancelAndDispatchAtSameTick) {
   EXPECT_TRUE(sim.empty());
 }
 
+TEST(Simulator, ClampedEventRunsAfterSameTickEarlierSeq) {
+  // An event clamped out of the past lands at (now, fresh seq): it must
+  // fire after events already queued at `now` with earlier seqs, not jump
+  // the same-tick line.
+  Simulator sim;
+  std::vector<int> order;
+  sim.RunUntil(1000);
+  sim.ScheduleAt(1000, [&] { order.push_back(1); });
+  sim.ScheduleAt(1000, [&] { order.push_back(2); });
+  auto* clamped = sim.metrics().GetCounter("sim.schedule_past_clamped");
+  std::uint64_t before = clamped->value();
+  sim.ScheduleAt(400, [&] { order.push_back(3); });  // clamped to 1000
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(clamped->value(), before + 1);
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(SimulatorTieChooser, ChoiceZeroMatchesBaseline) {
+  // A chooser that always takes branch 0 reproduces the default
+  // (when, seq) order exactly.
+  auto run = [](bool with_chooser) {
+    Simulator sim;
+    std::vector<int> order;
+    if (with_chooser) {
+      sim.SetTieChooser([](Tick, std::uint32_t) { return 0u; });
+    }
+    for (int i = 0; i < 4; ++i) {
+      sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+      sim.ScheduleAt(200, [&order, i] { order.push_back(10 + i); });
+    }
+    sim.ScheduleAt(150, [&order] { order.push_back(99); });
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SimulatorTieChooser, ConsultedOnlyForRealTies) {
+  Simulator sim;
+  int calls = 0;
+  sim.SetTieChooser([&](Tick, std::uint32_t n) {
+    ++calls;
+    EXPECT_GE(n, 2u);
+    return 0u;
+  });
+  sim.ScheduleAt(100, [] {});
+  sim.ScheduleAt(200, [] {});
+  sim.Run();
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SimulatorTieChooser, PermutesSameTickOrderDeterministically) {
+  auto run = [] {
+    Simulator sim;
+    std::vector<int> order;
+    sim.SetTieChooser([](Tick, std::uint32_t n) { return n - 1; });
+    for (int i = 0; i < 3; ++i) {
+      sim.ScheduleAt(100, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  std::vector<int> first = run();
+  EXPECT_EQ(first, (std::vector<int>{2, 1, 0}));  // always the last branch
+  EXPECT_EQ(first, run());                        // and reproducibly so
+}
+
+TEST(SimulatorTieChooser, NewSameTickEventsJoinTheTiePool) {
+  // An event scheduled *during* a same-tick dispatch becomes part of the
+  // remaining tie pool, so the chooser can order it before older peers.
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(0); });
+  sim.ScheduleAt(100, [&] {
+    order.push_back(1);
+    sim.ScheduleAt(100, [&] { order.push_back(9); });
+  });
+  int call = 0;
+  sim.SetTieChooser([&](Tick, std::uint32_t n) {
+    // First tie: pick the second event (which spawns the third); second
+    // tie: pick the freshly spawned one ahead of event 0.
+    ++call;
+    return n - 1;
+  });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 9, 0}));
+  EXPECT_EQ(call, 2);
+}
+
+TEST(SimulatorTieChooser, CancelledBatchMembersAreSkipped) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Simulator::EventId> ids;
+  ids.push_back(sim.ScheduleAt(100, [&] {
+    order.push_back(0);
+    sim.Cancel(ids[2]);  // cancel a later member of the current tie pool
+  }));
+  ids.push_back(sim.ScheduleAt(100, [&] { order.push_back(1); }));
+  ids.push_back(sim.ScheduleAt(100, [&] { order.push_back(2); }));
+  sim.SetTieChooser([](Tick, std::uint32_t) { return 0u; });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimulatorTieChooser, UninstallMidTickFallsBackToSeqOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] {
+    order.push_back(0);
+    sim.SetTieChooser(nullptr);  // batch flushes back to the queue
+  });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleAt(100, [&] { order.push_back(2); });
+  sim.SetTieChooser([](Tick, std::uint32_t) { return 0u; });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SimulatorTieChooser, TrainFiringsJoinTheTiePool) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(100, [&] { order.push_back(0); });
+  sim.ScheduleAt(100, [&] { order.push_back(1); });
+  sim.ScheduleTrain(100, 10, 2, [&](std::uint32_t k) {
+    order.push_back(100 + static_cast<int>(k));
+    return Simulator::TrainStep::Auto();
+  });
+  sim.SetTieChooser([](Tick, std::uint32_t n) { return n - 1; });
+  sim.Run();
+  // At t=100 the pool is {0, 1, train}; picking the highest seq fires the
+  // train first, then 1, then 0; the train's second firing at t=110 is a
+  // lone event.
+  EXPECT_EQ(order, (std::vector<int>{100, 1, 0, 101}));
+}
+
 TEST(Timer, RestartSupersedesPreviousArm) {
   Simulator sim;
   int fires = 0;

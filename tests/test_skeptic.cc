@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "src/autopilot/skeptic.h"
 
 namespace autonet {
@@ -66,6 +68,37 @@ TEST(Skeptic, ZeroForgivenessNeverDecays) {
   s.Penalize(now);
   s.Penalize(now + kMillisecond);
   EXPECT_EQ(s.RequiredHolddown(now + 1000 * kSecond), 4 * kBase);
+}
+
+TEST(Skeptic, ManyPenaltiesWithUnboundedMaxDoNotOverflow) {
+  // With max_ near the type limit the doubling loop used to run once per
+  // recorded relapse and sign-overflow Tick (UB; observable as a negative
+  // holddown).  It must saturate at max_ instead.
+  constexpr Tick kHuge = std::numeric_limits<Tick>::max();
+  Skeptic s(/*base_holddown=*/3, /*max_holddown=*/kHuge, /*forgiveness=*/0);
+  Tick now = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.Penalize(now += kMillisecond);
+  }
+  // 3 << 62 would overflow; the doubling loop must saturate instead.
+  EXPECT_EQ(s.RequiredHolddown(now), kHuge);
+  EXPECT_GT(s.RequiredHolddown(now), 0);
+}
+
+TEST(Skeptic, LevelIsCappedSoRelapseDebtStaysBounded) {
+  // Beyond kMaxLevel further doublings cannot raise any representable
+  // holddown, so the level stops growing — otherwise millennia of
+  // forgiveness would be owed after a long fault burst.
+  Skeptic s(kBase, kMax, kForgive);
+  Tick now = 0;
+  for (int i = 0; i < 10000; ++i) {
+    s.Penalize(now += kMillisecond);
+  }
+  EXPECT_LE(s.level(), Skeptic::kMaxLevel);
+  EXPECT_EQ(s.RequiredHolddown(now), kMax);
+  // The bounded debt forgives back to zero in bounded time.
+  EXPECT_EQ(s.RequiredHolddown(now + (Skeptic::kMaxLevel + 1) * kForgive),
+            kBase);
 }
 
 // Property: the holddown is monotone in the number of recent penalties and
