@@ -5,11 +5,12 @@
 // performance — the paper-facing measurements live in the other bench
 // binaries.
 //
-// Besides the google-benchmark tables, the binary always runs two fixed
-// workloads — raw event dispatch throughput and a multi-hop traffic stream —
+// Besides the google-benchmark tables, the binary always runs four fixed
+// workloads — raw event dispatch throughput, schedule/cancel churn, and a
+// multi-hop traffic stream with the flight recorder disarmed and armed —
 // and writes them to BENCH_SIM.json.  That file is the committed perf
 // baseline the CI bench-smoke job diffs against (>20% event-throughput
-// regression fails the build).
+// regression fails the build; >5% armed-vs-disarmed flight overhead too).
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -202,11 +203,16 @@ void MeasureCancelChurn(bench::JsonReport* report) {
 
 // The ISSUE's motivating workload: a stream of 1500-byte packets crossing
 // five switch hops on a 6-switch line.  Reports both engine event
-// throughput and delivered payload bytes per wall second.
-void MeasureMultiHopTraffic(bench::JsonReport* report) {
+// throughput and delivered payload bytes per wall second.  Run twice —
+// recorder disarmed (the default) and armed — so the CI gate can bound the
+// flight recorder's overhead as a same-run ratio immune to machine speed.
+void MeasureMultiHopTraffic(bench::JsonReport* report, bool arm_flight) {
   constexpr int kPackets = 512;
   constexpr std::size_t kBytes = 1500;
   Network net(MakeLine(6, 1));
+  if (arm_flight) {
+    net.sim().flight().Arm();
+  }
   net.Boot();
   if (!net.WaitForConsistency(5 * 60 * kSecond) ||
       !net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond)) {
@@ -235,12 +241,14 @@ void MeasureMultiHopTraffic(bench::JsonReport* report) {
   double ev_per_s = static_cast<double>(events) / cpu;
   double bytes_per_s = static_cast<double>(delivered) / cpu;
   bench::Row(
-      "  multi-hop traffic: %7.2f M events/s  %6.2f MB payload/cpu-s  "
+      "  multi-hop%s: %7.2f M events/s  %6.2f MB payload/cpu-s  "
       "(%d pkts, %llu events, %.1f sim-ms, %.3f cpu-s)",
-      ev_per_s / 1e6, bytes_per_s / 1e6, kPackets,
-      static_cast<unsigned long long>(events), sim_ms, cpu);
+      arm_flight ? " (flight)" : "         ", ev_per_s / 1e6,
+      bytes_per_s / 1e6, kPackets, static_cast<unsigned long long>(events),
+      sim_ms, cpu);
   report->rows().BeginObject();
-  report->rows().Key("workload").String("multihop_traffic");
+  report->rows().Key("workload").String(
+      arm_flight ? "multihop_traffic_flight" : "multihop_traffic");
   report->rows().Key("packets").Int(kPackets);
   report->rows().Key("events").UInt(events);
   report->rows().Key("cpu_s").Number(cpu);
@@ -266,7 +274,8 @@ int main(int argc, char** argv) {
   autonet::bench::JsonReport report("SIM");
   autonet::MeasureEventThroughput(&report);
   autonet::MeasureCancelChurn(&report);
-  autonet::MeasureMultiHopTraffic(&report);
+  autonet::MeasureMultiHopTraffic(&report, /*arm_flight=*/false);
+  autonet::MeasureMultiHopTraffic(&report, /*arm_flight=*/true);
   report.Write();
   return 0;
 }

@@ -236,6 +236,18 @@ int main(int argc, char** argv) {
       for (const Violation& v : r.violations) {
         std::printf("  [%s] %s\n    reproduce: %s\n", v.oracle.c_str(),
                     v.detail.c_str(), v.reproducer.c_str());
+        if (!v.blame.empty()) {
+          std::printf("    blame: %s\n", v.blame.c_str());
+        }
+      }
+      // The flight-recorder timeline is identical for every violation of a
+      // run: print it once, indented, after the run's violations.
+      if (!r.violations.empty() && !r.violations.front().timeline.empty()) {
+        std::istringstream lines(r.violations.front().timeline);
+        std::string line;
+        while (std::getline(lines, line)) {
+          std::printf("    %s\n", line.c_str());
+        }
       }
     }
     return 1;

@@ -20,6 +20,9 @@ using namespace autonet;
 
 int main() {
   Network net(MakeTorus(3, 3, 1));
+  // Arm the flight recorder so the remote depth/truncated counters below
+  // reflect the boot-time reconfiguration's events.
+  net.sim().flight().Arm();
   net.Boot();
   if (!net.WaitForConsistency(60 * kSecond) ||
       !net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond)) {
@@ -88,6 +91,19 @@ int main() {
                         static_cast<unsigned long long>(s.hist_count),
                         s.hist_min, s.hist_max, s.hist_mean);
             break;
+        }
+      }
+    }
+
+    // Flight-recorder accounting for the same switch: how many events its
+    // post-mortem ring retains and how many a ring wrap discarded.  Served
+    // as synthetic counters by the GetStats handler.
+    if (auto stats = client.GetStats(far.route, "flight.")) {
+      std::printf("\nflight recorder of the most distant switch:\n");
+      for (const auto& s : *stats) {
+        if (s.kind == obs::MetricKind::kCounter) {
+          std::printf("  %-32s %llu\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.counter));
         }
       }
     }

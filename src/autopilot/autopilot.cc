@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string_view>
 
 #include "src/common/serialize.h"
 #include "src/routing/spanning_tree.h"
@@ -33,6 +34,7 @@ Autopilot::Autopilot(Switch* node, AutopilotConfig config)
   for (int p = 0; p < kPortsPerSwitch; ++p) {
     monitors_.emplace_back(config_);
   }
+  flight_ = node->sim()->flight().Ring(node->name(), node->uid());
 }
 
 void Autopilot::Boot() {
@@ -329,6 +331,28 @@ void Autopilot::HandleSrp(const Delivery& d) {
         }
         ++count;
       });
+      // Two synthetic counters expose the flight recorder's ring occupancy
+      // and wrap-loss so an operator can tell from netmon alone whether a
+      // post-mortem timeline is complete or the ring overwrote its tail.
+      // They live outside the metric registry (the recorder is not a
+      // metric), so they are appended here under the same filter and cap.
+      auto synthetic = [&](const char* name, std::uint64_t value) {
+        if (entries.size() > 900) {
+          return;
+        }
+        std::string_view n(name);
+        if (!filter.empty() && n.find(filter) == std::string_view::npos) {
+          return;
+        }
+        entries.U8(static_cast<std::uint8_t>(obs::MetricKind::kCounter));
+        entries.U16(static_cast<std::uint16_t>(n.size()));
+        entries.Bytes(reinterpret_cast<const std::uint8_t*>(n.data()),
+                      n.size());
+        entries.U64(value);
+        ++count;
+      };
+      synthetic("flight.depth", flight_->depth());
+      synthetic("flight.truncated", flight_->truncated());
       body.U16(count);
       body.Bytes(entries.bytes().data(), entries.size());
       break;
@@ -442,6 +466,18 @@ void Autopilot::TransitionPort(PortNum p, PortState next, const char* reason) {
   m.state_since = node_->now();
   node_->log().Logf(node_->now(), "port %d: %s -> %s (%s)", p,
                     PortStateName(prev), PortStateName(next), reason);
+  if (flight_->armed()) {
+    obs::FlightEvent ev;
+    ev.time = node_->now();
+    ev.epoch = engine_.epoch();
+    ev.kind = obs::FlightEventKind::kPortTransition;
+    ev.port = static_cast<std::int16_t>(p);
+    ev.origin = neighbor_uid;
+    ev.detail = reason;
+    ev.from = PortStateName(prev);
+    ev.to = PortStateName(next);
+    flight_->Record(ev);
+  }
   node_->SetPortForceIdhy(p, next == PortState::kDead);
   if (next == PortState::kDead || next == PortState::kChecking) {
     m.probe_outstanding = false;
@@ -470,6 +506,17 @@ void Autopilot::FailPort(PortNum p, const char* reason) {
   }
   ++stats_.port_deaths;
   m.status_skeptic.Penalize(node_->now());
+  if (flight_->armed()) {
+    obs::FlightEvent ev;
+    ev.time = node_->now();
+    ev.epoch = engine_.epoch();
+    ev.kind = obs::FlightEventKind::kSkepticTrip;
+    ev.port = static_cast<std::int16_t>(p);
+    ev.a = 0;  // status skeptic
+    ev.b = static_cast<std::uint64_t>(m.status_skeptic.level());
+    ev.detail = reason;
+    flight_->Record(ev);
+  }
   m.clean_since = node_->now();
   m.blocked_intervals = 0;
   m.stuck_intervals = 0;
@@ -515,6 +562,17 @@ void Autopilot::ProbePorts() {
       if (m.probe_misses >= config_.probe_misses_to_fail) {
         m.probe_misses = 0;
         m.conn_skeptic.Penalize(now);
+        if (flight_->armed()) {
+          obs::FlightEvent ev;
+          ev.time = now;
+          ev.epoch = engine_.epoch();
+          ev.kind = obs::FlightEventKind::kSkepticTrip;
+          ev.port = static_cast<std::int16_t>(p);
+          ev.a = 1;  // connectivity skeptic
+          ev.b = static_cast<std::uint64_t>(m.conn_skeptic.level());
+          ev.detail = "probe timeouts";
+          flight_->Record(ev);
+        }
         if (m.state == PortState::kSwitchGood) {
           TransitionPort(p, PortState::kSwitchWho, "probe timeouts");
         }
@@ -619,6 +677,14 @@ void Autopilot::ApplyConfig(const NetTopology& topo, int self_index,
   topology_ = topo;
   self_index_ = self_index;
   switch_num_ = topo.switches[self_index].assigned_num;
+  if (flight_->armed()) {
+    obs::FlightEvent ev;
+    ev.time = node_->now();
+    ev.epoch = epoch;
+    ev.kind = obs::FlightEventKind::kConfigCompute;
+    ev.a = static_cast<std::uint64_t>(topo.size());
+    flight_->Record(ev);
+  }
   RunOnCpu(config_.cost_table_compute, [this, epoch] {
     if (!topology_.has_value()) {
       return;

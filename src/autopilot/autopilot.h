@@ -134,6 +134,7 @@ class Autopilot {
   Switch* node_;
   AutopilotConfig config_;
   ReconfigEngine engine_;
+  obs::FlightRing* flight_;  // owned by the simulator's flight recorder
   std::vector<PortMonitor> monitors_;
   PeriodicTask sampler_task_;
   PeriodicTask probe_task_;

@@ -30,6 +30,15 @@ ReconfigEngine::ReconfigEngine(Simulator* sim, Uid self_uid,
   m_messages_sent_ = reg.GetCounter(prefix + "messages_sent");
   m_retransmissions_ = reg.GetCounter(prefix + "retransmissions");
   m_epoch_ms_ = reg.GetHistogram("autopilot.reconfig.epoch_ms");
+  flight_ = sim_->flight().Ring(log->node_name(), self_uid);
+}
+
+obs::FlightEvent ReconfigEngine::FlightBase(obs::FlightEventKind kind) const {
+  obs::FlightEvent e;
+  e.time = sim_->now();
+  e.epoch = epoch_;
+  e.kind = kind;
+  return e;
 }
 
 ReconfigEngine::Stats ReconfigEngine::stats() const {
@@ -75,13 +84,28 @@ void ReconfigEngine::Trigger(const char* reason) {
   m_triggers_->Increment();
   sim_->trace().Instant(trace_track_, std::string("trigger: ") + reason,
                         sim_->now());
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kTrigger);
+    ev.epoch = epoch_ + 1;
+    ev.detail = reason;
+    flight_->Record(ev);
+  }
   JoinEpoch(epoch_ + 1, reason);
 }
 
-void ReconfigEngine::JoinEpoch(std::uint64_t epoch, const char* reason) {
+void ReconfigEngine::JoinEpoch(std::uint64_t epoch, const char* reason,
+                               PortNum inport, Uid origin) {
   epoch_ = epoch;
   in_progress_ = true;
   config_applied_ = false;
+  suspect_epoch_ = 0;
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochJoin);
+    ev.port = static_cast<std::int16_t>(inport);
+    ev.origin = origin;
+    ev.detail = reason;
+    flight_->Record(ev);
+  }
   m_epochs_joined_->Increment();
   last_join_time_ = sim_->now();
   // An epoch joined while another is open means the old one was aborted;
@@ -237,6 +261,13 @@ void ReconfigEngine::ReevaluatePosition() {
   log_->Logf(sim_->now(), "reconfig: position root=%llx level=%d parent-port=%d",
              static_cast<unsigned long long>(pos_root_.value()), pos_level_,
              parent_port_);
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kPositionChange);
+    ev.a = static_cast<std::uint64_t>(pos_level_);
+    ev.port = static_cast<std::int16_t>(parent_port_);
+    ev.origin = pos_root_;
+    flight_->Record(ev);
+  }
   // Everyone must re-ack the new position, and old child claims are void.
   for (PortNum p : participants_) {
     PortState& ps = ports_[p];
@@ -259,7 +290,8 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
     return;  // stale epoch: ignore (section 6.6.2)
   }
   if (msg.epoch > epoch_) {
-    if (msg.epoch - epoch_ > kMaxEpochJump) {
+    std::uint64_t jump = msg.epoch - epoch_;
+    if (jump > kMaxEpochJump) {
       // Legitimate epochs advance by small increments from a network that
       // booted at zero; a jump this large can only be corruption that beat
       // the CRC.  Joining it would poison the whole network with a counter
@@ -270,9 +302,44 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
                  "reconfig: ignored implausible epoch %llu (current %llu)",
                  static_cast<unsigned long long>(msg.epoch),
                  static_cast<unsigned long long>(epoch_));
+      if (flight_->armed()) {
+        obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochRejected);
+        ev.epoch = msg.epoch;
+        ev.port = static_cast<std::int16_t>(inport);
+        ev.origin = msg.sender_uid;
+        flight_->Record(ev);
+      }
       return;
     }
-    JoinEpoch(msg.epoch, "higher epoch seen");
+    if (jump > kEpochConfirmJump && msg.epoch != suspect_epoch_) {
+      // Plausible but far beyond anything a healthy neighbor produces: hold
+      // it until a second sighting of the same value (see kEpochConfirmJump).
+      // A genuine sender's reliable retransmission confirms it; a one-off
+      // damaged field never matches and the epoch space stays unburnt.
+      suspect_epoch_ = msg.epoch;
+      if (m_suspect_held_ == nullptr) {
+        m_suspect_held_ = sim_->metrics().GetCounter(
+            "switch." + log_->node_name() + ".reconfig.suspect_epochs_held");
+      }
+      m_suspect_held_->Increment();
+      log_->Logf(sim_->now(),
+                 "reconfig: holding suspect epoch %llu (current %llu) for "
+                 "confirmation",
+                 static_cast<unsigned long long>(msg.epoch),
+                 static_cast<unsigned long long>(epoch_));
+      if (flight_->armed()) {
+        obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochHeld);
+        ev.epoch = msg.epoch;
+        ev.port = static_cast<std::int16_t>(inport);
+        ev.origin = msg.sender_uid;
+        flight_->Record(ev);
+      }
+      return;
+    }
+    JoinEpoch(msg.epoch,
+              jump > kEpochConfirmJump ? "suspect epoch confirmed"
+                                       : "higher epoch seen",
+              inport, msg.sender_uid);
   }
   PortState& ps = ports_[inport];
   if (!ps.participant) {
@@ -329,6 +396,13 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       m_messages_sent_->Increment();
       callbacks_.send(inport, ack);
 
+      if (flight_->armed()) {
+        obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kReportRecv);
+        ev.a = msg.records.size();
+        ev.port = static_cast<std::int16_t>(inport);
+        ev.origin = msg.sender_uid;
+        flight_->Record(ev);
+      }
       std::uint64_t fp = Fingerprint(msg.records);
       bool changed = !ps.have_report || Fingerprint(ps.report) != fp;
       ps.claims_me = true;
@@ -357,6 +431,13 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       m_messages_sent_->Increment();
       callbacks_.send(inport, ack);
       if (!config_applied_) {
+        if (flight_->armed()) {
+          obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kConfigRecv);
+          ev.a = msg.records.size();
+          ev.port = static_cast<std::int16_t>(inport);
+          ev.origin = msg.sender_uid;
+          flight_->Record(ev);
+        }
         Distribute(msg.records, inport);
       }
       break;
@@ -401,6 +482,14 @@ void ReconfigEngine::OnLinkStateChange(PortNum port, bool up,
                                        Uid neighbor_uid,
                                        PortNum neighbor_port,
                                        const char* reason) {
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kLinkChange);
+    ev.a = up ? 1 : 0;
+    ev.port = static_cast<std::int16_t>(port);
+    ev.origin = neighbor_uid;
+    ev.detail = reason;
+    flight_->Record(ev);
+  }
   if (!config_->enable_local_reconfig || !config_applied_ ||
       !applied_topo_.has_value()) {
     Trigger(reason);
@@ -629,6 +718,13 @@ void ReconfigEngine::CheckStability() {
   msg.records = std::move(records);
   log_->Logf(sim_->now(), "reconfig: stable, reporting %zu switches to port %d",
              msg.records.size(), parent_port_);
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kReportSend);
+    ev.a = msg.records.size();
+    ev.port = static_cast<std::int16_t>(parent_port_);
+    ev.origin = parent_uid_;
+    flight_->Record(ev);
+  }
   SendReliable(parent_port_, std::move(msg));
   // The tree phase is over for this switch: it now waits for the root's
   // configuration (a changed subtree reopens the phase via re-report).
@@ -687,6 +783,11 @@ void ReconfigEngine::Terminate() {
   log_->Logf(sim_->now(),
              "reconfig: root terminated epoch %llu with %d switches",
              static_cast<unsigned long long>(epoch_), topo.size());
+  if (flight_->armed()) {
+    obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kTermination);
+    ev.a = static_cast<std::uint64_t>(topo.size());
+    flight_->Record(ev);
+  }
   Distribute(TopologyToRecords(topo), /*from=*/-1);
 }
 

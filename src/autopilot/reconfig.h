@@ -38,6 +38,7 @@
 #include "src/autopilot/messages.h"
 #include "src/common/event_log.h"
 #include "src/common/ids.h"
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/routing/topology.h"
@@ -53,6 +54,18 @@ class ReconfigEngine {
   // bits — beyond this distance the message is dropped as damaged rather
   // than joined (see OnMessage).
   static constexpr std::uint64_t kMaxEpochJump = std::uint64_t{1} << 32;
+
+  // Forward jumps up to this size are believed immediately — they cover
+  // every jump a healthy network produces (boot storms, a restarted switch
+  // rejoining after the network advanced while it was down).  A larger jump
+  // below kMaxEpochJump is *plausible* but suspicious: a single damaged
+  // epoch field that slipped past the CRC would otherwise silently burn up
+  // to 2^32 epochs of counter space.  Such a jump is held until the same
+  // epoch value is seen a second time (the sender's reliable-send
+  // retransmission confirms a genuine message within one retransmit period;
+  // independent corruption essentially never reproduces the same 64-bit
+  // value), so one damaged field can no longer move the epoch at all.
+  static constexpr std::uint64_t kEpochConfirmJump = 4096;
 
   struct Callbacks {
     // Queue a reconfiguration message out the given port (the caller
@@ -146,7 +159,13 @@ class ReconfigEngine {
     ReconfigMsg msg;
   };
 
-  void JoinEpoch(std::uint64_t epoch, const char* reason);
+  // `inport`/`origin` tag the causal source of the join for the flight
+  // recorder: the port and sender UID of the message that carried the
+  // higher epoch, or (-1, nil) for a locally triggered epoch.
+  void JoinEpoch(std::uint64_t epoch, const char* reason, PortNum inport = -1,
+                 Uid origin = Uid());
+  // A flight event pre-stamped with the current time and epoch.
+  obs::FlightEvent FlightBase(obs::FlightEventKind kind) const;
   // Trace-span phase transitions on this engine's `<name>.reconfig` track:
   // an outer "epoch <N>" span with one inner phase span at a time ("tree",
   // then "await-config" or "distribute").
@@ -190,6 +209,9 @@ class ReconfigEngine {
   bool in_progress_ = false;
   bool config_applied_ = false;
   SwitchNum proposed_num_ = 1;
+  // A forward jump beyond kEpochConfirmJump awaiting its second sighting
+  // (0 = none).  Cleared whenever an epoch is joined.
+  std::uint64_t suspect_epoch_ = 0;
 
   // Current position (self-root when pos_root_ == self_uid_).
   Uid pos_root_;
@@ -222,7 +244,12 @@ class ReconfigEngine {
   obs::Counter* m_local_fallbacks_;
   obs::Counter* m_messages_sent_;
   obs::Counter* m_retransmissions_;
+  // Created lazily on the first held epoch so clean runs register no new
+  // instrument (keeps metric snapshots — and the chaos fingerprints over
+  // them — byte-identical).
+  obs::Counter* m_suspect_held_ = nullptr;
   Histogram* m_epoch_ms_;  // network-wide autopilot.reconfig.epoch_ms
+  obs::FlightRing* flight_;  // owned by the simulator's flight recorder
   Tick last_join_time_ = -1;
   Tick last_config_time_ = -1;
   Tick last_termination_time_ = -1;

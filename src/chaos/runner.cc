@@ -9,6 +9,7 @@
 
 #include "src/chaos/executor.h"
 #include "src/obs/json.h"
+#include "src/obs/postmortem.h"
 
 namespace autonet {
 namespace chaos {
@@ -106,10 +107,29 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
                            scenario.name + " --topo " + topo.name +
                            " --seed " + std::to_string(seed);
   auto violate = [&](const std::string& oracle, const std::string& detail) {
-    result.violations.push_back({oracle, detail, reproducer});
+    result.violations.push_back({oracle, detail, reproducer, "", ""});
   };
 
   Network net(topo.spec, config.network);
+  // Arm the flight recorder for every run: recording writes only to the
+  // recorder's own rings, so the log and metrics fingerprints are
+  // unaffected, and a failed run can be explained post mortem.
+  net.sim().flight().Arm();
+  // On failure, stamp every violation with the reconstructed epoch
+  // timeline and the blame chain of the epoch the oracles judged.
+  auto attach_postmortem = [&] {
+    if (result.violations.empty()) {
+      return;
+    }
+    obs::PostMortem pm = obs::PostMortem::Build(net.sim().flight());
+    std::string timeline = pm.RenderText();
+    std::string blame =
+        pm.epochs().empty() ? "" : pm.epochs().back().BlameChain();
+    for (Violation& v : result.violations) {
+      v.blame = blame;
+      v.timeline = timeline;
+    }
+  };
   net.Boot();
 
   // Bootstrap: the fault script is judged from a converged baseline, so a
@@ -120,6 +140,7 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
   if (!net.WaitForConsistency(boot_deadline, config.quiet)) {
     violate("bootstrap", "no consistent boot configuration by t=" +
                              FormatTime(boot_deadline));
+    attach_postmortem();
     result.ok = false;
     result.wall_ms = WallMsSince(t0);
     return result;
@@ -148,6 +169,7 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
       violate(oracle->name(), detail);
     }
   }
+  attach_postmortem();
 
   if (ctx.converged_at >= 0) {
     result.converge_ms =
@@ -306,6 +328,8 @@ std::string CampaignReport::ToJson() const {
       w.Key("oracle").String(v.oracle);
       w.Key("detail").String(v.detail);
       w.Key("reproducer").String(v.reproducer);
+      w.Key("blame").String(v.blame);
+      w.Key("timeline").String(v.timeline);
       w.EndObject();
     }
   }

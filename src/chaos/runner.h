@@ -32,6 +32,11 @@ struct Violation {
   std::string oracle;
   std::string detail;
   std::string reproducer;  // a chaosrun command line replaying this run
+  // Flight-recorder forensics for the failed run (same for every violation
+  // of the run): the blame chain of the last reconfiguration epoch and the
+  // full per-epoch timeline with phase breakdowns (src/obs/postmortem.h).
+  std::string blame;
+  std::string timeline;
 };
 
 struct TopologyCase {

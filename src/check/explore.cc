@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "src/obs/json.h"
+#include "src/obs/postmortem.h"
 
 namespace autonet {
 namespace check {
@@ -330,7 +331,7 @@ ScheduleResult RunSchedule(const ExploreConfig& config, const ScheduleId& id) {
   std::string reproducer =
       config.reproducer_stem + " --replay " + result.id;
   auto violate = [&](const std::string& oracle, const std::string& detail) {
-    result.violations.push_back({oracle, detail, reproducer});
+    result.violations.push_back({oracle, detail, reproducer, "", ""});
   };
   auto finish = [&] {
     result.ok = result.violations.empty();
@@ -358,6 +359,7 @@ ScheduleResult RunSchedule(const ExploreConfig& config, const ScheduleId& id) {
   }
 
   Network net(spec, config.network);
+  net.sim().flight().Arm();
   net.Boot();
   int diameter = chaos::HealthyDiameter(net);
   Tick boot_deadline =
@@ -419,6 +421,19 @@ ScheduleResult RunSchedule(const ExploreConfig& config, const ScheduleId& id) {
   result.dropped_decisions = rec.dropped;
   result.branch_factors = std::move(rec.branch);
   result.log_hash = HashMergedLog(net);
+  if (config.capture_postmortem || !result.violations.empty()) {
+    obs::PostMortem pm = obs::PostMortem::Build(net.sim().flight());
+    std::string timeline = pm.RenderText();
+    std::string blame =
+        pm.epochs().empty() ? "" : pm.epochs().back().BlameChain();
+    for (chaos::Violation& v : result.violations) {
+      v.blame = blame;
+      v.timeline = timeline;
+    }
+    if (config.capture_postmortem) {
+      result.postmortem = std::move(timeline);
+    }
+  }
   return finish();
 }
 
@@ -432,7 +447,7 @@ ExploreReport Explore(const ExploreConfig& config) {
   if (!error.empty()) {
     ScheduleResult bad;
     bad.id = config.topo;
-    bad.violations.push_back({"setup", error, ""});
+    bad.violations.push_back({"setup", error, "", "", ""});
     report.runs.push_back(std::move(bad));
     report.failed = 1;
     report.wall_ms = WallMsSince(t0);

@@ -74,6 +74,10 @@ struct ExploreConfig {
   Tick quiet = 100 * kMillisecond;
   NetworkConfig network;
   std::string reproducer_stem = "protocheck";
+  // Fill ScheduleResult::postmortem with the reconstructed epoch timeline
+  // even when the schedule passes (the `postmortem --schedule` path).
+  // Failed schedules always carry a timeline in their violations.
+  bool capture_postmortem = false;
 };
 
 struct ScheduleResult {
@@ -87,6 +91,8 @@ struct ScheduleResult {
   std::vector<std::uint32_t> branch_factors;
   std::uint64_t log_hash = 0;  // FNV-1a over the merged event log
   double wall_ms = 0;
+  // Epoch timeline text (set when ExploreConfig::capture_postmortem).
+  std::string postmortem;
 };
 
 struct ExploreReport {

@@ -595,13 +595,20 @@ InjectReport FuzzInject(const InjectConfig& config) {
     report.epoch_after =
         std::max(report.epoch_after, net.autopilot_at(i).epoch());
   }
-  if (report.epoch_after - report.epoch_before >
-      ReconfigEngine::kMaxEpochJump) {
+  // Each injection can legitimately advance the epoch by at most
+  // kEpochConfirmJump (larger jumps are held for a confirming second
+  // sighting, which a one-shot corrupted field never produces), so total
+  // growth beyond count * kEpochConfirmJump means a corrupted epoch was
+  // believed outright — the epoch-burn hole.
+  std::uint64_t burn_budget = static_cast<std::uint64_t>(config.count) *
+                              ReconfigEngine::kEpochConfirmJump;
+  if (report.epoch_after - report.epoch_before > burn_budget) {
     report.findings.push_back(
         {"", "epoch-plausibility",
          "epoch jumped from " + std::to_string(report.epoch_before) + " to " +
-             std::to_string(report.epoch_after) +
-             " — an injected epoch was believed",
+             std::to_string(report.epoch_after) + " (budget " +
+             std::to_string(burn_budget) +
+             ") — an injected epoch was believed",
          "", reproducer});
   }
   return report;

@@ -56,8 +56,16 @@ class Histogram {
   // campaign runner to aggregate per-worker accumulations after the workers
   // join, so nothing on a hot path ever locks.
   void Merge(const Histogram& other) {
-    samples_.insert(samples_.end(), other.samples_.begin(),
-                    other.samples_.end());
+    if (other.samples_.empty()) {
+      return;
+    }
+    // Copy by index after reserving: iterators into `other.samples_` would
+    // dangle on reallocation when `other` is `*this` (self-merge doubles).
+    std::size_t n = other.samples_.size();
+    samples_.reserve(samples_.size() + n);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples_.push_back(other.samples_[i]);
+    }
     sorted_ = false;
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);

@@ -35,6 +35,7 @@ Switch::Switch(Simulator* sim, Uid uid, std::string name, Config config)
   sched_.SetHooks([this] { return FreeOutputPorts(); },
                   [this](const SchedulerEngine::Request& request,
                          PortVector ports) { Grant(request, ports); });
+  flight_ = sim_->flight().Ring(name_, uid_);
 }
 
 Switch::Switch(Simulator* sim, Uid uid, std::string name)
@@ -71,6 +72,18 @@ void Switch::SendPanic(PortNum port) { link_unit(port).SendPanicPulse(); }
 void Switch::LoadForwardingTable(const ForwardingTable& table) {
   table_ = table;
   m_table_loads_->Increment();
+  if (flight_->armed()) {
+    // The switch does not know the reconfiguration epoch; the post-mortem
+    // reconstructor attributes the install to the latest epoch-join at or
+    // before this time on the same ring.
+    static const ForwardingTable kOneHop = ForwardingTable::OneHopOnly();
+    obs::FlightEvent ev;
+    ev.time = sim_->now();
+    ev.kind = obs::FlightEventKind::kRouteInstall;
+    ev.a = (table == kOneHop) ? 0 : 1;  // 0 = one-hop bootstrap, 1 = full
+    ev.b = config_.reset_on_table_load ? 1 : 0;
+    flight_->Record(ev);
+  }
   if (!config_.reset_on_table_load) {
     return;
   }

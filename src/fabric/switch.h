@@ -169,6 +169,8 @@ class Switch {
   std::array<Simulator::EventId, kPortsPerSwitch> capture_event_{};
   std::array<std::unique_ptr<Forwarder>, kPortsPerSwitch> forwarders_;
 
+  obs::FlightRing* flight_;  // owned by the simulator's flight recorder
+
   // Registry instruments (owned by the simulator's registry).
   obs::Counter* m_packets_forwarded_;
   obs::Counter* m_packets_discarded_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/obs/flight.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -209,6 +210,10 @@ class Simulator {
   const obs::MetricRegistry& metrics() const { return metrics_; }
   obs::TraceRecorder& trace() { return trace_; }
   const obs::TraceRecorder& trace() const { return trace_; }
+  // The reconfiguration flight recorder (disarmed by default; see
+  // src/obs/flight.h).
+  obs::FlightRecorder& flight() { return flight_; }
+  const obs::FlightRecorder& flight() const { return flight_; }
 
  private:
   // Sequence numbers and pool-slot indices share one word in the heap entry
@@ -518,6 +523,7 @@ class Simulator {
   obs::Counter* past_clamped_ = nullptr;  // created on first clamp
   obs::MetricRegistry metrics_;
   obs::TraceRecorder trace_;
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace autonet

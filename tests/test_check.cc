@@ -212,6 +212,69 @@ TEST(Inject, ImplausibleEpochIsDroppedNotJoined) {
   EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + 40 * kSecond));
 }
 
+TEST(Inject, SuspectEpochHeldUntilConfirmedBySecondSighting) {
+  // The epoch-burn hole: a corrupted epoch below kMaxEpochJump used to be
+  // believed outright, so one damaged field could silently burn up to 2^32
+  // epochs of counter space.  Jumps beyond kEpochConfirmJump are now held
+  // until the same value is seen a second time — a reliable sender's
+  // retransmission confirms a genuine jump, while one-shot corruption
+  // never reproduces the value.
+  std::string error;
+  Network net(CheckTopologyByName("pair2", &error));
+  ASSERT_TRUE(error.empty());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(40 * kSecond));
+  std::uint64_t epoch0 = net.autopilot_at(0).epoch();
+  std::uint64_t poisoned = epoch0 + (std::uint64_t{1} << 20);
+  ASSERT_GT(std::uint64_t{1} << 20, ReconfigEngine::kEpochConfirmJump);
+
+  // The body claims the real port-1 neighbor's identity, modeling a
+  // genuine message from a network segment far ahead in epoch space (the
+  // case the confirmation rule must still admit) rather than a phantom
+  // root the tree protocol would chase forever.
+  ReconfigMsg msg;
+  msg.kind = ReconfigMsg::Kind::kPosition;
+  msg.epoch = poisoned;  // suspect band: above confirm, below max
+  msg.sender_uid = net.autopilot_at(1).uid();
+  msg.root_uid = net.autopilot_at(1).uid();
+
+  Packet p;
+  p.dest = kAddrLocalCp;
+  p.src = OneHopAddress(1);
+  p.type = PacketType::kReconfig;
+  p.payload = msg.Serialize();
+  PacketRef pkt = MakePacket(std::move(p));
+  auto deliver = [&net, pkt] {
+    CpPort& cp = net.switch_at(0).cp_port();
+    cp.NoteArrivalPort(1);
+    cp.SendBegin(pkt);
+    for (std::uint32_t i = 0; i < pkt->WireSize(); ++i) {
+      cp.SendByte(pkt, i);
+    }
+    cp.SendEnd(EndFlags{});
+  };
+
+  // First sighting: held, not joined.
+  net.sim().ScheduleAfter(kMillisecond, deliver);
+  net.Run(2 * kSecond);
+  EXPECT_LT(net.autopilot_at(0).epoch(), epoch0 + 16)
+      << "a single suspect epoch sighting was believed";
+
+  // Second sighting of the same value: confirmed and joined, and the
+  // jump propagates network-wide (neighbors confirm via the reliable
+  // sender's retransmissions).
+  net.sim().ScheduleAfter(kMillisecond, deliver);
+  net.Run(10 * kSecond);
+  EXPECT_GE(net.autopilot_at(0).epoch(), poisoned)
+      << "a confirmed epoch was still refused";
+  EXPECT_TRUE(net.WaitForConsistency(net.sim().now() + 40 * kSecond))
+      << net.CheckConsistency();
+  for (int i = 0; i < net.num_switches(); ++i) {
+    EXPECT_GE(net.autopilot_at(i).epoch(), poisoned)
+        << "switch " << i << " never caught up to the confirmed epoch";
+  }
+}
+
 TEST(Inject, MutatedBarrageLeavesNetworkConsistent) {
   InjectConfig config;
   config.topo = "pair2";

@@ -13,8 +13,10 @@
 
 #include "src/core/network.h"
 #include "src/host/srp_client.h"
+#include "src/obs/flight.h"
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/postmortem.h"
 #include "src/obs/trace.h"
 #include "src/topo/spec.h"
 
@@ -116,6 +118,68 @@ TEST(MetricRegistry, MergeFromFoldsByKind) {
   EXPECT_DOUBLE_EQ(a.GetHistogram("latency")->Max(), 3.0);
   EXPECT_EQ(a.GetHistogram("only_in_b")->count(), 1u);       // created
   EXPECT_EQ(a.GetCounter("only_in_a")->value(), 1u);         // kind mismatch
+}
+
+TEST(Histogram, MergeEdgeCases) {
+  Histogram a;
+  a.Add(2.0);
+  a.Add(4.0);
+
+  Histogram empty;
+  a.Merge(empty);  // empty source: aggregates untouched
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+
+  Histogram b;
+  b.Merge(a);  // nonempty into empty: adopts every aggregate exactly
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Max(), 4.0);
+  EXPECT_DOUBLE_EQ(b.Percentile(50), 3.0);
+
+  // Self-merge doubles the population and preserves shape; the sample
+  // vector reallocates mid-merge, so this also pins the no-dangling-
+  // iterator contract of Merge.
+  a.Merge(a);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_DOUBLE_EQ(a.Sum(), 12.0);
+  EXPECT_DOUBLE_EQ(a.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 4.0);
+}
+
+TEST(MetricRegistry, MergeFromEdgeCases) {
+  MetricRegistry a;
+  MetricRegistry b;
+  b.GetCounter("c")->Increment(5);
+  b.GetHistogram("h")->Add(1.0);
+
+  a.MergeFrom(b);  // into an empty registry: every entry is created
+  EXPECT_EQ(a.size(), 2u);
+  ASSERT_NE(a.GetCounter("c"), nullptr);
+  EXPECT_EQ(a.GetCounter("c")->value(), 5u);
+  EXPECT_EQ(a.GetHistogram("h")->count(), 1u);
+
+  MetricRegistry none;
+  a.MergeFrom(none);  // empty source: no-op
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.GetCounter("c")->value(), 5u);
+
+  a.MergeFrom(a);  // self-merge: counters and sample counts double
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_EQ(a.GetCounter("c")->value(), 10u);
+  EXPECT_EQ(a.GetHistogram("h")->count(), 2u);
+
+  // Kind mismatch on merge: the source entry is skipped, never aliased,
+  // and the destination keeps both its value and its kind.
+  MetricRegistry wrong;
+  wrong.GetGauge("c")->Set(123.0);
+  a.MergeFrom(wrong);
+  ASSERT_NE(a.GetCounter("c"), nullptr);
+  EXPECT_EQ(a.GetCounter("c")->value(), 10u);
+  EXPECT_EQ(a.GetGauge("c"), nullptr);
 }
 
 TEST(MetricRegistry, SnapshotJsonRoundTrips) {
@@ -242,6 +306,169 @@ TEST(TraceRecorder, DisabledRecordsNothing) {
   tr.Instant("t", "b", 1);
   EXPECT_TRUE(tr.spans().empty());
   EXPECT_EQ(tr.dropped(), 0u);  // disabled is not "dropped"
+}
+
+// --- flight recorder & post-mortem ---
+
+TEST(FlightRecorder, DisarmedRecordsNothingAndArmResets) {
+  obs::FlightRecorder rec;
+  obs::FlightRing* ring = rec.Ring("sw0", Uid(0x10));
+  ASSERT_NE(ring, nullptr);
+  EXPECT_EQ(rec.Ring("sw0", Uid(0x10)), ring);  // stable handle
+  EXPECT_FALSE(ring->armed());
+
+  obs::FlightEvent ev;
+  ev.time = 1;
+  ring->Record(ev);  // disarmed: dropped without accounting
+  EXPECT_EQ(ring->depth(), 0u);
+  EXPECT_EQ(ring->total(), 0u);
+
+  rec.Arm(4);
+  EXPECT_TRUE(ring->armed());
+  ring->Record(ev);
+  EXPECT_EQ(ring->depth(), 1u);
+
+  rec.Disarm();  // keeps the history for post-mortem reading
+  ring->Record(ev);
+  EXPECT_EQ(ring->depth(), 1u);
+  EXPECT_EQ(ring->total(), 1u);
+
+  rec.Arm(4);  // re-arming starts a fresh recording
+  EXPECT_EQ(ring->depth(), 0u);
+  EXPECT_EQ(ring->total(), 0u);
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestAndCountsTruncation) {
+  obs::FlightRecorder rec;
+  rec.Arm(4);
+  obs::FlightRing* ring = rec.Ring("sw0", Uid(0x10));
+  for (int i = 0; i < 10; ++i) {
+    obs::FlightEvent ev;
+    ev.time = 100 + i;
+    ev.a = static_cast<std::uint64_t>(i);
+    ring->Record(ev);
+  }
+  EXPECT_EQ(ring->depth(), 4u);
+  EXPECT_EQ(ring->total(), 10u);
+  EXPECT_EQ(ring->truncated(), 6u);
+
+  // The retained window is the newest four events, oldest first.
+  std::vector<obs::FlightEvent> events = ring->Chronological();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 6 + i);
+    EXPECT_EQ(events[i].time, static_cast<Tick>(106 + i));
+  }
+}
+
+// A hand-built two-switch recording: sw0 sees a link die, trips a skeptic,
+// triggers epoch 5, and the epoch propagates to sw1.  The reconstructor
+// must recover the blame chain, the wavefront, and every phase duration.
+TEST(PostMortem, ReconstructsBlameChainWavefrontAndPhases) {
+  obs::FlightRecorder rec;
+  rec.Arm();
+  obs::FlightRing* sw0 = rec.Ring("sw0", Uid(0x10));
+  obs::FlightRing* sw1 = rec.Ring("sw1", Uid(0x11));
+
+  auto record = [](obs::FlightRing* ring, Tick t, obs::FlightEventKind kind,
+                   std::uint64_t epoch) {
+    obs::FlightEvent ev;
+    ev.time = t;
+    ev.kind = kind;
+    ev.epoch = epoch;
+    return ev;  // caller tweaks fields, then ring->Record
+  };
+  obs::FlightEvent ev;
+
+  // Precursors carry the previous epoch's tag (4).
+  ev = record(sw0, 100, obs::FlightEventKind::kLinkChange, 4);
+  ev.port = 2;
+  ev.a = 0;  // down
+  ev.detail = "carrier loss";
+  sw0->Record(ev);
+  ev = record(sw0, 200, obs::FlightEventKind::kSkepticTrip, 4);
+  ev.a = 0;  // status skeptic
+  ev.b = 1;
+  sw0->Record(ev);
+
+  ev = record(sw0, 1000, obs::FlightEventKind::kTrigger, 5);
+  ev.detail = "port change";
+  sw0->Record(ev);
+  ev = record(sw0, 1000, obs::FlightEventKind::kEpochJoin, 5);
+  sw0->Record(ev);  // local: nil origin, port -1
+  ev = record(sw1, 1500, obs::FlightEventKind::kEpochJoin, 5);
+  ev.origin = Uid(0x10);
+  ev.port = 3;
+  sw1->Record(ev);
+  ev = record(sw0, 2000, obs::FlightEventKind::kTermination, 5);
+  ev.a = 2;
+  sw0->Record(ev);
+  ev = record(sw0, 2100, obs::FlightEventKind::kConfigCompute, 5);
+  sw0->Record(ev);
+  // Route installs are recorded by the fabric with no epoch; the
+  // reconstructor must attribute them to the latest join on the same ring.
+  ev = record(sw0, 2200, obs::FlightEventKind::kRouteInstall, 0);
+  ev.a = 1;
+  sw0->Record(ev);
+  ev = record(sw1, 2300, obs::FlightEventKind::kRouteInstall, 0);
+  ev.a = 1;
+  sw1->Record(ev);
+
+  obs::PostMortem pm = obs::PostMortem::Build(rec);
+  const obs::EpochTimeline* tl = pm.FindEpoch(5);
+  ASSERT_NE(tl, nullptr);
+  EXPECT_EQ(pm.FindEpoch(99), nullptr);
+
+  EXPECT_EQ(tl->trigger_node, "sw0");
+  EXPECT_EQ(tl->trigger_time, 1000);
+  ASSERT_TRUE(tl->root_cause.has_value());
+  EXPECT_EQ(tl->root_cause->ev.kind, obs::FlightEventKind::kLinkChange);
+  EXPECT_EQ(tl->root_cause->ev.port, 2);
+  ASSERT_TRUE(tl->first_skeptic.has_value());
+  EXPECT_EQ(tl->first_skeptic->ev.time, 200);
+
+  ASSERT_EQ(tl->wavefront.size(), 2u);
+  EXPECT_EQ(tl->wavefront[0].node, "sw0");
+  EXPECT_TRUE(tl->wavefront[0].from.empty());  // local trigger
+  EXPECT_EQ(tl->wavefront[1].node, "sw1");
+  EXPECT_EQ(tl->wavefront[1].from, "sw0");  // causal tag resolved to a name
+  EXPECT_EQ(tl->wavefront[1].port, 3);
+
+  // Phases: monitor 200->1000, tree 1000->1500, fan-in 1500->2000,
+  // compute 2000->2100, install 2100->2300.
+  EXPECT_EQ(tl->phases.monitor, 800);
+  EXPECT_EQ(tl->phases.tree, 500);
+  EXPECT_EQ(tl->phases.fanin, 500);
+  EXPECT_EQ(tl->phases.compute, 100);
+  EXPECT_EQ(tl->phases.install, 200);
+  EXPECT_EQ(tl->termination_time, 2000);
+  EXPECT_EQ(tl->route_installs, 2);
+
+  const std::string blame = tl->BlameChain();
+  EXPECT_NE(blame.find("link down at sw0 port 2 (carrier loss)"),
+            std::string::npos);
+  EXPECT_NE(blame.find("sw0 skeptic trip (status, level 1)"),
+            std::string::npos);
+  EXPECT_NE(blame.find("sw0 trigger \"port change\""), std::string::npos);
+  EXPECT_NE(blame.find("2 switches joined"), std::string::npos);
+
+  // The rendered timeline and the Perfetto export agree with the model.
+  const std::string text = pm.RenderText(true);
+  EXPECT_NE(text.find("=== epoch 5"), std::string::npos);
+  EXPECT_NE(text.find("<- sw0 (port 3)"), std::string::npos);
+  auto doc = ParseJson(pm.ToChromeTraceJson());
+  ASSERT_TRUE(doc.has_value());
+  std::set<std::string> span_names;
+  for (const JsonValue& e : doc->Find("traceEvents")->array) {
+    if (e.Find("ph")->str == "X") {
+      span_names.insert(e.Find("name")->str);
+    }
+  }
+  EXPECT_TRUE(span_names.count("epoch 5"));
+  for (const char* phase :
+       {"monitor", "tree", "fan-in", "compute", "install"}) {
+    EXPECT_TRUE(span_names.count(phase)) << phase;
+  }
 }
 
 // --- end-to-end acceptance ---
@@ -391,6 +618,64 @@ TEST(Telemetry, SrpGetStatsFetchesRemoteCounters) {
     }
   }
   EXPECT_TRUE(found);
+}
+
+// GetStats also serves the flight recorder's synthetic depth/truncated
+// counters.  With a deliberately tiny ring the boot reconfiguration
+// overflows it, and the remotely fetched accounting must match the ring's
+// ground truth exactly: depth capped at capacity, truncated = total - depth.
+TEST(Telemetry, SrpGetStatsServesFlightRecorderAccounting) {
+  Network net(MakeTorus(3, 3, 1));
+  net.sim().flight().Arm(8);
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(120 * kSecond));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  SrpClient client(&net.driver_at(0));
+  auto entries = client.CrawlTopology();
+  ASSERT_FALSE(entries.empty());
+  const auto& far = entries.back();
+  ASSERT_FALSE(far.route.empty());
+
+  auto stats = client.GetStats(far.route, "flight.");
+  ASSERT_TRUE(stats.has_value());
+
+  // Ground truth: the remote switch's own ring.
+  int remote = -1;
+  for (int i = 0; i < net.num_switches(); ++i) {
+    if (net.switch_at(i).uid() == far.state.uid) {
+      remote = i;
+    }
+  }
+  ASSERT_GE(remote, 0);
+  const obs::FlightRing* ring =
+      net.sim().flight().Find(net.switch_at(remote).name());
+  ASSERT_NE(ring, nullptr);
+  // Boot reconfiguration writes far more than 8 events per switch: the
+  // ring wrapped, and the wrap is visible in the accounting.
+  EXPECT_EQ(ring->depth(), 8u);
+  EXPECT_GT(ring->truncated(), 0u);
+  EXPECT_EQ(ring->total(), ring->depth() + ring->truncated());
+
+  std::uint64_t depth = 0;
+  std::uint64_t truncated = 0;
+  bool saw_depth = false;
+  bool saw_truncated = false;
+  for (const auto& s : *stats) {
+    if (s.name == "flight.depth") {
+      saw_depth = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      depth = s.counter;
+    } else if (s.name == "flight.truncated") {
+      saw_truncated = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      truncated = s.counter;
+    }
+  }
+  ASSERT_TRUE(saw_depth);
+  ASSERT_TRUE(saw_truncated);
+  EXPECT_EQ(depth, ring->depth());
+  EXPECT_EQ(truncated, ring->truncated());
 }
 
 // The registry view of a live network: booting a torus populates fabric,
