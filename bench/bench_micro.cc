@@ -21,6 +21,7 @@
 #include "bench/bench_util.h"
 #include "src/core/network.h"
 #include "src/fabric/forwarding_table.h"
+#include "src/workload/engine.h"
 #include "src/fabric/port_fifo.h"
 #include "src/routing/spanning_tree.h"
 #include "src/routing/updown.h"
@@ -259,6 +260,66 @@ void MeasureMultiHopTraffic(bench::JsonReport* report, bool arm_flight) {
   report->rows().EndObject();
 }
 
+// A closed-loop RPC fleet riding through a cable cut and reconfiguration on
+// a 6-switch ring: the workload engine's hot path (delivery hook, tag
+// parse, inline reissue) under the event engine, with the SLO accounting
+// on.  Guards the engine's per-op cost the same way the other rows guard
+// the event queue.
+void MeasureRpcReconfigSlo(bench::JsonReport* report) {
+  Network net(MakeRing(6, 1));
+  net.Boot();
+  if (!net.WaitForConsistency(5 * 60 * kSecond) ||
+      !net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond)) {
+    bench::Row("  rpc-under-reconfig: network failed to boot, skipped");
+    return;
+  }
+  workload::Spec spec;
+  std::string error;
+  workload::ParseSpecText("rpc bytes 128 response 32 window 1", &spec,
+                          &error);
+  workload::WorkloadEngine engine(&net, spec,
+                                  workload::SloBudgetConfig{}, /*diameter=*/3);
+  auto t0 = std::chrono::steady_clock::now();
+  double c0 = CpuSeconds();
+  std::uint64_t ev0 = net.sim().events_processed();
+  engine.Start();
+  net.Run(200 * kMillisecond);
+  engine.SetPhase(workload::Phase::kFault);
+  net.CutCable(0);
+  net.WaitForConsistency(net.sim().now() + 60 * kSecond);
+  engine.SetPhase(workload::Phase::kRecovery);
+  net.Run(200 * kMillisecond);
+  engine.Stop();
+  Tick give_up = net.sim().now() + kSecond;
+  while (!engine.Drained() && net.sim().now() < give_up) {
+    net.Run(10 * kMillisecond);
+  }
+  workload::SloReport slo = engine.Finalize();
+  double cpu = CpuSeconds() - c0;
+  double wall = WallSecondsSince(t0);
+  std::uint64_t events = net.sim().events_processed() - ev0;
+  double ev_per_s = static_cast<double>(events) / cpu;
+  bench::Row(
+      "  rpc-under-reconfig: %5.2f M events/s  (%llu ops, outage %.1f ms, "
+      "p999 %.3f->%.3f ms, %.3f cpu-s)",
+      ev_per_s / 1e6, static_cast<unsigned long long>(slo.completed),
+      slo.max_outage_ms, slo.steady_latency_ms.Percentile(99.9),
+      slo.recovery_latency_ms.Percentile(99.9), cpu);
+  report->rows().BeginObject();
+  report->rows().Key("workload").String("rpc_reconfig_slo");
+  report->rows().Key("events").UInt(events);
+  report->rows().Key("cpu_s").Number(cpu);
+  report->rows().Key("wall_s").Number(wall);
+  report->rows().Key("events_per_s").Number(ev_per_s);
+  report->rows().Key("ops").UInt(slo.completed);
+  report->rows().Key("max_outage_ms").Number(slo.max_outage_ms);
+  report->rows().Key("steady_p999_ms")
+      .Number(slo.steady_latency_ms.Percentile(99.9));
+  report->rows().Key("recovery_p999_ms")
+      .Number(slo.recovery_latency_ms.Percentile(99.9));
+  report->rows().EndObject();
+}
+
 }  // namespace
 }  // namespace autonet
 
@@ -276,6 +337,7 @@ int main(int argc, char** argv) {
   autonet::MeasureCancelChurn(&report);
   autonet::MeasureMultiHopTraffic(&report, /*arm_flight=*/false);
   autonet::MeasureMultiHopTraffic(&report, /*arm_flight=*/true);
+  autonet::MeasureRpcReconfigSlo(&report);
   report.Write();
   return 0;
 }

@@ -10,6 +10,10 @@
 //   chaosrun --scenario link-flap --topo ring8 --seed 3
 //                                     replay one run (the reproducer form)
 //   chaosrun --corpus my.chaos        external scenario file
+//   chaosrun --workload 'rpc'         drive an application workload in every
+//                                     run and judge the SLO oracles too
+//   chaosrun --slo-corpus             run the built-in SLO corpus (scenarios
+//                                     with their own workload lines)
 //   chaosrun --report out.json        write the campaign report
 //   chaosrun --compare-jobs1          rerun single-threaded, record speedup
 //   chaosrun --list / --dump-corpus   inspect what would run
@@ -23,6 +27,7 @@
 
 #include "src/chaos/corpus.h"
 #include "src/chaos/runner.h"
+#include "src/workload/spec.h"
 
 using namespace autonet;
 using namespace autonet::chaos;
@@ -34,6 +39,8 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s [options]\n"
       "  --corpus FILE     scenario file (default: built-in corpus)\n"
+      "  --slo-corpus      use the built-in SLO corpus (workload scenarios)\n"
+      "  --workload SPEC   campaign workload, e.g. 'rpc bytes 256 window 2'\n"
       "  --scenario NAME   run only this scenario (repeatable)\n"
       "  --topo NAME       run only this topology (repeatable)\n"
       "  --topos all       use every registered topology\n"
@@ -52,6 +59,8 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   std::string corpus_file;
+  bool slo_corpus = false;
+  std::string workload_text;
   std::vector<std::string> want_scenarios;
   std::vector<std::string> want_topos;
   std::vector<std::uint64_t> seeds;
@@ -70,6 +79,12 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       corpus_file = v;
+    } else if (arg == "--slo-corpus") {
+      slo_corpus = true;
+    } else if (arg == "--workload") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      workload_text = v;
     } else if (arg == "--scenario") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -109,16 +124,28 @@ int main(int argc, char** argv) {
       list_only = true;
     } else if (arg == "--dump-corpus") {
       std::fputs(DefaultCorpusText().c_str(), stdout);
+      std::fputs("\n", stdout);
+      std::fputs(SloCorpusText().c_str(), stdout);
       return 0;
     } else {
       return Usage(argv[0]);
     }
   }
 
-  // Load and filter the corpus.
+  // Load and filter the corpus.  Scenario name lookups (--scenario) see the
+  // default and SLO corpora together so any reproducer line replays without
+  // extra flags.
   std::vector<Scenario> scenarios;
+  if (!corpus_file.empty() && slo_corpus) {
+    std::fprintf(stderr, "--corpus and --slo-corpus are exclusive\n");
+    return 2;
+  }
   if (corpus_file.empty()) {
-    scenarios = DefaultCorpus();
+    scenarios = slo_corpus ? SloCorpus() : DefaultCorpus();
+    if (!slo_corpus && !want_scenarios.empty()) {
+      std::vector<Scenario> slo = SloCorpus();
+      scenarios.insert(scenarios.end(), slo.begin(), slo.end());
+    }
   } else {
     std::ifstream in(corpus_file);
     if (!in) {
@@ -186,6 +213,13 @@ int main(int argc, char** argv) {
   }
 
   CampaignConfig config;
+  if (!workload_text.empty()) {
+    std::string error;
+    if (!workload::ParseSpecText(workload_text, &config.workload, &error)) {
+      std::fprintf(stderr, "--workload: %s\n", error.c_str());
+      return 2;
+    }
+  }
   config.scenarios = std::move(scenarios);
   config.topologies = std::move(topologies);
   config.seeds = std::move(seeds);
@@ -220,6 +254,25 @@ int main(int argc, char** argv) {
     std::printf("convergence:   p50 %.1f ms  p99 %.1f ms  max %.1f ms\n",
                 report.converge_ms.Percentile(50),
                 report.converge_ms.Percentile(99), report.converge_ms.Max());
+  }
+  if (!report.slo_outage_ms.empty()) {
+    std::printf("slo outage:    p50 %.1f ms  p99 %.1f ms  max %.1f ms\n",
+                report.slo_outage_ms.Percentile(50),
+                report.slo_outage_ms.Percentile(99),
+                report.slo_outage_ms.Max());
+    for (const RunResult& r : report.runs) {
+      if (r.workload.empty()) {
+        continue;
+      }
+      std::printf(
+          "  %-18s %-9s seed %llu: %llu ops, outage %.1f ms (%d win), "
+          "p999 %.3f->%.3f ms, lost %llu\n",
+          r.scenario.c_str(), r.topology.c_str(),
+          static_cast<unsigned long long>(r.seed),
+          static_cast<unsigned long long>(r.slo_ops), r.slo_max_outage_ms,
+          r.slo_outage_windows, r.slo_steady_p999_ms, r.slo_recovery_p999_ms,
+          static_cast<unsigned long long>(r.slo_recovery_lost));
+    }
   }
 
   if (!report_file.empty()) {

@@ -102,5 +102,58 @@ std::vector<Scenario> DefaultCorpus() {
   return scenarios;
 }
 
+// The SLO corpus keeps fault scripts short (the runner adds steady-state and
+// recovery phases around the script) and payloads small: saturating closed
+// loops generate load by windowing, not by byte count, and the whole corpus
+// must stay cheap enough for CI to sweep on every push.
+const std::string& SloCorpusText() {
+  static const std::string kText = R"(# SLO corpus: application workloads across faults, judged on app impact.
+
+scenario slo-steady
+  # No faults: the baseline.  Any outage window at all is a violation here
+  # (CI asserts zero), and the steady p999 anchors the latency budget.
+  workload rpc bytes 256 response 32 window 2
+
+scenario slo-cable-cut
+  workload rpc bytes 256 response 32 window 2
+  at 100ms cut cable ?a
+  at 1200ms restore cable ?a
+
+scenario slo-switch-crash
+  workload rpc bytes 256 response 32 window 2
+  at 100ms crash switch ?s
+  at 1400ms restart switch ?s
+
+scenario slo-link-flap
+  workload rpc bytes 256 response 32 window 2
+  flap cable ?a period 150ms from 100ms until 1s
+
+scenario slo-allreduce-cut
+  # The barrier couples every flow: the cut stalls the step until the
+  # reconfiguration heals the path, then steps must resume.
+  workload allreduce bytes 512
+  at 100ms cut cable ?a
+  at 1200ms restore cable ?a
+
+scenario slo-streams-cut
+  # Deadline misses are legal only during the fault window.
+  workload streams bytes 256 period 5ms deadline 25ms
+  at 100ms cut cable ?a
+  at 1200ms restore cable ?a
+)";
+  return kText;
+}
+
+std::vector<Scenario> SloCorpus() {
+  std::string error;
+  std::vector<Scenario> scenarios = ParseScenarios(SloCorpusText(), &error);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "built-in SLO corpus failed to parse: %s\n",
+                 error.c_str());
+    std::abort();
+  }
+  return scenarios;
+}
+
 }  // namespace chaos
 }  // namespace autonet

@@ -20,6 +20,14 @@ const std::string& DefaultCorpusText();
 // cannot fail; it aborts if the corpus ever stops parsing.
 std::vector<Scenario> DefaultCorpus();
 
+// The SLO corpus: scenarios that run an application workload (saturating
+// RPC, ring allreduce, periodic streams) across a fault and judge the run
+// on application impact — outage windows vs the diameter-scaled budget,
+// post-quiescence tail latency, lost-forever ops, deadline misses.  CI's
+// slo-smoke job sweeps this corpus.
+const std::string& SloCorpusText();
+std::vector<Scenario> SloCorpus();
+
 }  // namespace chaos
 }  // namespace autonet
 

@@ -10,6 +10,7 @@
 #include "src/chaos/executor.h"
 #include "src/obs/json.h"
 #include "src/obs/postmortem.h"
+#include "src/workload/engine.h"
 
 namespace autonet {
 namespace chaos {
@@ -79,6 +80,21 @@ TopoSpec TopologyByName(const std::string& name, std::string* error) {
   if (name == "srclan16") {
     return MakeSrcLan(16);
   }
+  if (name == "small3") {
+    // A triangle: the smallest topology where a cut leaves redundancy (the
+    // SLO smoke topology — a cable cut must be a pause, not a partition).
+    TopoSpec spec;
+    spec.AddSwitch("s0");
+    spec.AddSwitch("s1");
+    spec.AddSwitch("s2");
+    spec.Cable(0, 1);
+    spec.Cable(1, 2);
+    spec.Cable(0, 2);
+    spec.AddHost(0);
+    spec.AddHost(1);
+    spec.AddHost(2);
+    return spec;
+  }
   if (error != nullptr) {
     *error = "unknown topology '" + name + "'";
   }
@@ -90,8 +106,8 @@ std::vector<std::string> StandardTopologyNames() {
 }
 
 std::vector<std::string> AllTopologyNames() {
-  return {"line6",   "ring8",    "torus3x3", "torus4x4",
-          "tree2x3", "random12", "srclan16"};
+  return {"line6",    "ring8",    "torus3x3", "torus4x4",
+          "tree2x3",  "random12", "srclan16", "small3"};
 }
 
 RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
@@ -103,9 +119,16 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
   result.topology = topo.name;
   result.seed = seed;
 
+  // Scenario-level workload wins; a campaign-level one must appear in the
+  // reproducer line (a scenario-level one replays from the scenario text).
+  const workload::Spec& wl =
+      scenario.workload.enabled() ? scenario.workload : config.workload;
   std::string reproducer = config.reproducer_stem + " --scenario " +
                            scenario.name + " --topo " + topo.name +
                            " --seed " + std::to_string(seed);
+  if (config.workload.enabled() && !scenario.workload.enabled()) {
+    reproducer += " --workload '" + config.workload.ToText() + "'";
+  }
   auto violate = [&](const std::string& oracle, const std::string& detail) {
     result.violations.push_back({oracle, detail, reproducer, "", ""});
   };
@@ -147,6 +170,17 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
   }
   net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond);
 
+  // Workload phase 1: steady state — the latency baseline and the proof
+  // that a quiet network has zero outage windows.
+  std::unique_ptr<workload::WorkloadEngine> engine;
+  if (wl.enabled()) {
+    engine = std::make_unique<workload::WorkloadEngine>(
+        &net, wl, config.slo_budget, HealthyDiameter(net));
+    engine->Start();
+    net.Run(config.slo_steady);
+    engine->SetPhase(workload::Phase::kFault);
+  }
+
   ScenarioExecutor executor(&net, scenario, seed);
   Tick script_start = net.sim().now();
   executor.Schedule(script_start);
@@ -167,6 +201,37 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
     std::string detail = oracle->Check(ctx);
     if (!detail.empty()) {
       violate(oracle->name(), detail);
+    }
+  }
+
+  // Workload phases 2+3: the fault phase ran concurrently with the script
+  // and the oracle battery's wait for quiescence; now sample recovery,
+  // drain, and judge the SLOs.  A run that never converged is judged by the
+  // convergence oracle alone — its SLO numbers are reported but not judged
+  // (there is no "after quiescence" to hold the workload to).
+  if (engine != nullptr) {
+    if (ctx.converged_at >= 0) {
+      engine->SetPhase(workload::Phase::kRecovery);
+      net.Run(config.slo_recovery);
+    }
+    engine->Stop();
+    Tick drain_deadline = net.sim().now() + config.slo_drain;
+    while (!engine->Drained() && net.sim().now() < drain_deadline) {
+      net.Run(10 * kMillisecond);
+    }
+    workload::SloReport slo = engine->Finalize();
+    result.workload = wl.ToText();
+    result.slo_json = slo.ToJson();
+    result.slo_max_outage_ms = slo.max_outage_ms;
+    result.slo_steady_p999_ms = slo.steady_latency_ms.Percentile(99.9);
+    result.slo_recovery_p999_ms = slo.recovery_latency_ms.Percentile(99.9);
+    result.slo_ops = slo.completed;
+    result.slo_recovery_lost = slo.recovery_lost;
+    result.slo_outage_windows = slo.outage_windows;
+    if (ctx.converged_at >= 0) {
+      for (const auto& [oracle, detail] : workload::JudgeSlo(slo)) {
+        violate(oracle, detail);
+      }
     }
   }
   attach_postmortem();
@@ -256,6 +321,9 @@ CampaignReport RunCampaign(const CampaignConfig& config) {
     if (r.converge_ms >= 0) {
       report.converge_ms.Add(r.converge_ms);
     }
+    if (!r.workload.empty() && r.slo_max_outage_ms >= 0) {
+      report.slo_outage_ms.Add(r.slo_max_outage_ms);
+    }
     report.run_wall_ms.Add(r.wall_ms);
   }
   report.wall_ms = WallMsSince(t0);
@@ -339,6 +407,9 @@ std::string CampaignReport::ToJson() const {
   WriteHistogram(w, "reconfig_ms", reconfig_ms);
   WriteHistogram(w, "converge_ms", converge_ms);
   WriteHistogram(w, "run_wall_ms", run_wall_ms);
+  if (slo_outage_ms.count() > 0) {
+    WriteHistogram(w, "slo_outage_ms", slo_outage_ms);
+  }
   w.EndObject();
 
   w.Key("runs").BeginArray();
@@ -353,6 +424,12 @@ std::string CampaignReport::ToJson() const {
     w.Key("log_hash").String(HexU64(r.log_hash));
     w.Key("metrics_hash").String(HexU64(r.metrics_hash));
     w.Key("wall_ms").Number(r.wall_ms);
+    if (!r.workload.empty()) {
+      // Resolved workload + full SLO accounting, embedded per run so a
+      // report is self-describing about what load the verdicts were under.
+      w.Key("workload").String(r.workload);
+      w.Key("slo").Raw(r.slo_json);
+    }
     w.Key("actions").BeginArray();
     for (const std::string& a : r.resolved_actions) {
       w.String(a);

@@ -24,6 +24,7 @@
 #include "src/core/network.h"
 #include "src/obs/metrics.h"
 #include "src/topo/spec.h"
+#include "src/workload/slo.h"
 
 namespace autonet {
 namespace chaos {
@@ -66,6 +67,19 @@ struct CampaignConfig {
 
   NetworkConfig network;  // applied to every run's Network
 
+  // Campaign-level application workload (src/workload/): when enabled, every
+  // run drives it across the fault script and is additionally judged by the
+  // SLO oracles.  A scenario-level `workload` line overrides this.  Disabled
+  // by default so baseline campaigns stay byte-identical.
+  workload::Spec workload;
+  workload::SloBudgetConfig slo_budget;
+  // Workload phase lengths: steady-state before the script (the latency
+  // baseline), recovery after quiescence (the post-reconfiguration sample),
+  // and the drain grace for in-flight ops before the books close.
+  Tick slo_steady = 400 * kMillisecond;
+  Tick slo_recovery = 1200 * kMillisecond;
+  Tick slo_drain = 2 * kSecond;
+
   // Oracle battery factory; default StandardOracles.  Tests substitute
   // deliberately broken oracles here to prove violations are caught.
   std::function<std::vector<std::unique_ptr<Oracle>>()> oracles;
@@ -86,6 +100,16 @@ struct RunResult {
   std::uint64_t metrics_hash = 0;  // FNV-1a over the metrics JSON snapshot
   double wall_ms = 0;              // host wall clock for this run
   std::vector<std::string> resolved_actions;
+
+  // Workload / SLO results; `workload` is empty when the run had none.
+  std::string workload;
+  std::string slo_json;  // full workload::SloReport::ToJson()
+  double slo_max_outage_ms = -1;
+  double slo_steady_p999_ms = -1;
+  double slo_recovery_p999_ms = -1;
+  std::uint64_t slo_ops = 0;
+  std::uint64_t slo_recovery_lost = 0;
+  int slo_outage_windows = 0;
 };
 
 struct CampaignReport {
@@ -101,6 +125,7 @@ struct CampaignReport {
   Histogram reconfig_ms;   // per-run last-wave durations, campaign-wide
   Histogram converge_ms;   // per-run script-to-consistency times
   Histogram run_wall_ms;   // per-run host wall clock
+  Histogram slo_outage_ms;  // per-run worst flow outage (workload runs only)
   obs::MetricRegistry metrics;  // all runs' registries, merged
 
   bool AllPassed() const { return failed == 0; }

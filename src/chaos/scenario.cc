@@ -148,6 +148,9 @@ std::string FormatRate(double rate) {
 std::string Scenario::ToText() const {
   std::ostringstream out;
   out << "scenario " << name << "\n";
+  if (workload.enabled()) {
+    out << "  workload " << workload.ToText() << "\n";
+  }
   for (const Action& a : actions) {
     out << "  ";
     switch (a.kind) {
@@ -315,13 +318,21 @@ std::vector<Scenario> ParseScenarios(const std::string& text,
       if (t.size() != 2) {
         return fail("expected: scenario <name>");
       }
-      scenarios.push_back(Scenario{t[1], {}});
+      scenarios.push_back(Scenario{t[1], {}, {}});
       continue;
     }
     if (scenarios.empty()) {
       return fail("statement before any 'scenario' header");
     }
     Scenario& s = scenarios.back();
+
+    if (t[0] == "workload") {
+      std::string why;
+      if (!workload::ParseSpec(t, 1, &s.workload, &why)) {
+        return fail(why);
+      }
+      continue;
+    }
 
     if (t[0] == "flap") {
       // flap cable <target> period <time> from <time> until <time>

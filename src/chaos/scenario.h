@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/common/time.h"
+#include "src/workload/spec.h"
 
 namespace autonet {
 namespace chaos {
@@ -61,6 +62,11 @@ struct Action {
 struct Scenario {
   std::string name;
   std::vector<Action> actions;
+  // Optional application workload to run while the script executes (see
+  // src/workload/).  kNone (the default) keeps the run byte-identical to a
+  // workload-free run; a scenario-level workload overrides any
+  // campaign-level one.
+  workload::Spec workload;
 
   // --- programmatic builders (all return *this for chaining) ---
   Scenario& CutCable(Tick at, int cable = kRandomTarget,
@@ -94,6 +100,7 @@ struct Scenario {
 // Parses a scenario corpus.  Grammar (one statement per line, '#' comments):
 //
 //   scenario <name>
+//     workload rpc|allreduce|streams [key value ...]
 //     at <time> cut cable <target>
 //     at <time> restore cable <target>
 //     at <time> crash switch <target>

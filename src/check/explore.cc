@@ -515,6 +515,11 @@ ExploreReport Explore(const ExploreConfig& config) {
   RunPool(deviations.size(), jobs, [&](std::size_t i) {
     dev_results[i] = RunSchedule(config, deviations[i]);
   });
+  // Deviation runs hit max_decision_points too; without this the report
+  // undercounted dropped decision points by the whole phase-2 sweep.
+  for (const ScheduleResult& r : dev_results) {
+    report.dropped_decisions += static_cast<std::uint64_t>(r.dropped_decisions);
+  }
 
   report.runs = std::move(base_results);
   report.runs.insert(report.runs.end(),

@@ -61,13 +61,16 @@ Network::Network(TopoSpec spec, NetworkConfig config)
       switches_[hs.alt_switch]->AttachLink(hs.alt_port, links[1].get(),
                                            Link::Side::kB);
     }
-    if (config_.collect_deliveries) {
-      drivers_[h]->SetReceiveHandler([this, h](Delivery d) {
-        if (inboxes_[h].size() < config_.inbox_limit) {
-          inboxes_[h].push_back(std::move(d));
-        }
-      });
-    }
+    drivers_[h]->SetReceiveHandler([this, h](Delivery d) {
+      if (delivery_hook_) {
+        delivery_hook_(h, d);
+      }
+      if (config_.collect_deliveries &&
+          d.packet->ether_type != kHookOnlyEtherType &&
+          inboxes_[h].size() < config_.inbox_limit) {
+        inboxes_[h].push_back(std::move(d));
+      }
+    });
   }
 }
 
@@ -346,34 +349,40 @@ void Network::RefreshLinkMode(int cable) {
 }
 
 void Network::CutCable(int cable) {
+  ++fault_generation_;
   cable_cut_[cable] = true;
   RefreshLinkMode(cable);
 }
 
 void Network::RestoreCable(int cable) {
+  ++fault_generation_;
   cable_cut_[cable] = false;
   RefreshLinkMode(cable);
 }
 
 void Network::SetCableReflecting(int cable, Link::Side powered_side) {
+  ++fault_generation_;
   cable_cut_[cable] = true;  // treated as faulty until restored
   cables_[cable]->SetMode(powered_side == Link::Side::kA ? LinkMode::kReflectA
                                                          : LinkMode::kReflectB);
 }
 
 void Network::SetCableCorruptionRate(int cable, double per_byte_probability) {
+  ++fault_generation_;
   cable_corruption_[cable] = per_byte_probability;
   cables_[cable]->SetCorruptionRate(per_byte_probability);
 }
 
 void Network::SetHostLinkCorruptionRate(int host, int which,
                                         double per_byte_probability) {
+  ++fault_generation_;
   if (host_links_[host][which] != nullptr) {
     host_links_[host][which]->SetCorruptionRate(per_byte_probability);
   }
 }
 
 void Network::CutHostLink(int host, int which) {
+  ++fault_generation_;
   host_link_cut_[host][which] = true;
   if (host_links_[host][which] != nullptr) {
     host_links_[host][which]->SetMode(LinkMode::kCut);
@@ -381,6 +390,7 @@ void Network::CutHostLink(int host, int which) {
 }
 
 void Network::RestoreHostLink(int host, int which) {
+  ++fault_generation_;
   host_link_cut_[host][which] = false;
   const TopoSpec::HostSpec& hs = spec_.hosts[host];
   int sw = which == 0 ? hs.primary_switch : hs.alt_switch;
@@ -393,6 +403,7 @@ void Network::CrashSwitch(int i) {
   if (!alive_[i]) {
     return;
   }
+  ++fault_generation_;
   alive_[i] = false;
   autopilots_[i]->Shutdown();
   // Power-off destroys all packets in the switch and silences its links.
@@ -417,6 +428,7 @@ void Network::RestartSwitch(int i) {
   if (alive_[i]) {
     return;
   }
+  ++fault_generation_;
   alive_[i] = true;
   // Fresh boot from ROM: a brand-new control program instance.
   auto fresh = std::make_unique<Autopilot>(switches_[i].get(),
@@ -457,6 +469,28 @@ bool Network::SendData(int src_host, int dst_host, std::size_t data_bytes,
   p.dest_uid = hosts_[dst_host]->uid();
   p.ether_type = ether_type;
   p.payload.assign(data_bytes, 0xD5);
+  p.created_at = sim_.now();
+  return src.Send(std::move(p));
+}
+
+bool Network::SendTagged(int src_host, int dst_host, std::size_t data_bytes,
+                         std::uint16_t ether_type, std::uint64_t tag) {
+  AutonetDriver& src = *drivers_[src_host];
+  AutonetDriver& dst = *drivers_[dst_host];
+  if (!src.HasAddress() || !dst.HasAddress()) {
+    return false;
+  }
+  Packet p;
+  p.dest = dst.short_address();
+  p.type = PacketType::kEthernetEncap;
+  p.src_uid = hosts_[src_host]->uid();
+  p.dest_uid = hosts_[dst_host]->uid();
+  p.ether_type = ether_type;
+  p.payload.assign(std::max<std::size_t>(data_bytes, 8), 0xD5);
+  for (int i = 0; i < 8; ++i) {
+    p.payload[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(tag >> (56 - 8 * i));
+  }
   p.created_at = sim_.now();
   return src.Send(std::move(p));
 }

@@ -10,6 +10,7 @@
 #define SRC_CORE_NETWORK_H_
 
 #include <array>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -23,6 +24,13 @@
 #include "src/topo/spec.h"
 
 namespace autonet {
+
+// Client deliveries with this ether type are routed to the client delivery
+// hook only and are never collected into the per-host inboxes, so a
+// saturating hook-driven workload cannot evict the probe traffic that tests
+// and oracles read from the inboxes.  (The workload engine sends under this
+// type; see src/workload/engine.h.)
+inline constexpr std::uint16_t kHookOnlyEtherType = 0xAE70;
 
 struct NetworkConfig {
   AutopilotConfig autopilot;       // defaults to the tuned generation
@@ -101,13 +109,30 @@ class Network {
   void RestartSwitch(int i);
   bool switch_alive(int i) const { return alive_[i]; }
 
+  // Bumped by every fault-injection call above.  Clients caching state
+  // derived from the fault set (e.g. the components of HealthyTopology())
+  // can key the cache on this instead of re-deriving per query.
+  std::uint64_t fault_generation() const { return fault_generation_; }
+
   // --- traffic helpers ---
   // Sends `data_bytes` of client data from one host to another (requires
   // both drivers registered).  Returns false if not possible yet.
   bool SendData(int src_host, int dst_host, std::size_t data_bytes,
                 std::uint16_t ether_type = 0x0800);
+  // Like SendData, but writes `tag` into the first 8 payload bytes
+  // (big-endian); data_bytes is clamped up to 8 so the tag always fits.
+  bool SendTagged(int src_host, int dst_host, std::size_t data_bytes,
+                  std::uint16_t ether_type, std::uint64_t tag);
   const std::vector<Delivery>& inbox(int host) const { return inboxes_[host]; }
   void ClearInboxes();
+
+  // Observes every client delivery on every host, before inbox collection.
+  // One hook per network (the workload engine claims it while attached);
+  // pass nullptr to clear.
+  using ClientDeliveryHook = std::function<void(int host, const Delivery&)>;
+  void SetClientDeliveryHook(ClientDeliveryHook hook) {
+    delivery_hook_ = std::move(hook);
+  }
 
   // --- measurement ---
   // Duration of the most recent reconfiguration wave: from the earliest
@@ -158,6 +183,8 @@ class Network {
   std::vector<double> cable_corruption_;
   std::vector<std::array<bool, 2>> host_link_cut_;
   std::vector<std::vector<Delivery>> inboxes_;
+  ClientDeliveryHook delivery_hook_;
+  std::uint64_t fault_generation_ = 0;
 };
 
 }  // namespace autonet

@@ -31,6 +31,11 @@ std::vector<TrafficGenerator::Flow> TrafficGenerator::AllToAll(int num_hosts) {
 std::vector<TrafficGenerator::Flow> TrafficGenerator::RandomPairs(
     int num_hosts, int count) {
   std::vector<Flow> flows;
+  if (num_hosts < 2) {
+    // No src != dst pair exists; drawing from UniformInt(0, -1) below would
+    // be undefined behaviour.
+    return flows;
+  }
   for (int i = 0; i < count; ++i) {
     int a = static_cast<int>(rng_.UniformInt(0, num_hosts - 1));
     int b = static_cast<int>(rng_.UniformInt(0, num_hosts - 2));
@@ -49,22 +54,30 @@ bool TrafficGenerator::Offer(const Flow& flow) {
 TrafficGenerator::Report TrafficGenerator::Run(const std::vector<Flow>& flows,
                                                Tick duration) {
   Report report;
+  if (config_.mean_interarrival < 0) {
+    report.error = "mean_interarrival must be >= 0 (0 = saturating mode)";
+    return report;
+  }
   net_->ClearInboxes();
   Tick start = net_->sim().now();
   Tick deadline = start + duration;
 
   if (config_.mean_interarrival > 0) {
-    // Poisson arrivals per flow.
+    // Poisson arrivals per flow.  Draws are clamped to at least one tick:
+    // Exponential() can round to 0, and a zero increment would spin the
+    // arrival loop forever without advancing `when`.
+    auto draw = [&] {
+      return std::max<Tick>(1, static_cast<Tick>(rng_.Exponential(
+                                   static_cast<double>(
+                                       config_.mean_interarrival))));
+    };
     struct Arrival {
       Tick when;
       std::size_t flow;
     };
     std::vector<Arrival> next;
     for (std::size_t f = 0; f < flows.size(); ++f) {
-      next.push_back({start + static_cast<Tick>(rng_.Exponential(
-                                  static_cast<double>(
-                                      config_.mean_interarrival))),
-                      f});
+      next.push_back({start + draw(), f});
     }
     while (net_->sim().now() < deadline) {
       Tick step_end = std::min(net_->sim().now() + kMillisecond, deadline);
@@ -75,8 +88,7 @@ TrafficGenerator::Report TrafficGenerator::Run(const std::vector<Flow>& flows,
           } else {
             ++report.send_rejected;
           }
-          a.when += static_cast<Tick>(rng_.Exponential(
-              static_cast<double>(config_.mean_interarrival)));
+          a.when += draw();
         }
       }
       net_->Run(step_end - net_->sim().now());

@@ -7,6 +7,7 @@
 #define SRC_CORE_TRAFFIC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -20,7 +21,9 @@ class TrafficGenerator {
   struct Config {
     std::size_t data_bytes = 512;
     // Mean inter-arrival per source for Poisson mode; 0 = saturating mode
-    // (keep each source's transmit queue topped up).
+    // (keep each source's transmit queue topped up).  Negative is a
+    // configuration error: Run() refuses it and sets Report::error rather
+    // than silently falling back to saturating mode.
     Tick mean_interarrival = 0;
     std::uint64_t seed = 1;
   };
@@ -37,6 +40,9 @@ class TrafficGenerator {
     std::uint64_t send_rejected = 0;  // driver not ready / buffer full
     Histogram latency_us;
     double delivered_mbps = 0;
+    // Non-empty when the configuration was rejected (e.g. negative mean
+    // inter-arrival); no traffic was generated in that case.
+    std::string error;
 
     double DeliveryRate() const {
       return sent == 0 ? 0.0
@@ -53,7 +59,8 @@ class TrafficGenerator {
   static std::vector<Flow> Permutation(int num_hosts, int stride);
   // Every ordered pair once.
   static std::vector<Flow> AllToAll(int num_hosts);
-  // `count` random (src, dst) pairs.
+  // `count` random (src, dst) pairs with src != dst; empty when fewer than
+  // two hosts exist (there is no valid pair to draw).
   std::vector<Flow> RandomPairs(int num_hosts, int count);
 
   // Runs the flows for `duration` of simulated time and returns delivery

@@ -1,0 +1,207 @@
+#include "src/workload/slo.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/json.h"
+
+namespace autonet {
+namespace workload {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kSteady:
+      return "steady";
+    case Phase::kFault:
+      return "fault";
+    case Phase::kRecovery:
+      return "recovery";
+  }
+  return "steady";
+}
+
+SloBudget ResolveBudget(const SloBudgetConfig& config, int diameter) {
+  SloBudget b;
+  b.outage_ms = static_cast<double>(config.outage_base +
+                                    config.outage_per_hop * diameter) /
+                1e6;
+  b.floor_ms = static_cast<double>(config.outage_floor) / 1e6;
+  b.latency_factor = config.latency_factor;
+  b.latency_slack_ms = config.latency_slack_ms;
+  b.min_latency_samples = config.min_latency_samples;
+  b.diameter = diameter;
+  return b;
+}
+
+void FlowSlo::OnOffered(Tick now, bool accepted) {
+  ++offered_;
+  if (!accepted) {
+    ++rejected_;
+  }
+  if (anchor_ < 0) {
+    anchor_ = now;
+    excused_in_gap_ = 0;
+  }
+}
+
+void FlowSlo::CloseGap(Tick now) {
+  if (anchor_ < 0) {
+    return;
+  }
+  Tick gap = now - anchor_ - excused_in_gap_;
+  if (gap > floor_) {
+    max_outage_ms_ = std::max(max_outage_ms_, static_cast<double>(gap) / 1e6);
+    ++outage_windows_;
+  }
+  anchor_ = now;
+  excused_in_gap_ = 0;
+}
+
+void FlowSlo::OnCompleted(Tick now, Phase sent_phase, double latency_ms) {
+  ++completed_;
+  latency_[static_cast<int>(sent_phase)].Add(latency_ms);
+  CloseGap(now);
+}
+
+void FlowSlo::Advance(Tick dt, bool serviceable) {
+  if (!serviceable) {
+    excused_total_ += dt;
+    if (anchor_ >= 0) {
+      excused_in_gap_ += dt;
+    }
+  }
+}
+
+void FlowSlo::Finalize(Tick now, bool outstanding) {
+  if (outstanding) {
+    CloseGap(now);
+  }
+  anchor_ = -1;
+}
+
+std::string SloReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("workload").String(spec.ToText());
+  w.Key("budget").BeginObject();
+  w.Key("outage_ms").Number(budget.outage_ms);
+  w.Key("floor_ms").Number(budget.floor_ms);
+  w.Key("latency_factor").Number(budget.latency_factor);
+  w.Key("latency_slack_ms").Number(budget.latency_slack_ms);
+  w.Key("min_latency_samples").UInt(budget.min_latency_samples);
+  w.Key("diameter").Int(budget.diameter);
+  w.EndObject();
+
+  w.Key("offered").UInt(offered);
+  w.Key("rejected").UInt(rejected);
+  w.Key("completed").UInt(completed);
+  w.Key("timeouts").UInt(timeouts);
+  w.Key("damaged").UInt(damaged);
+  w.Key("recovery_lost").UInt(recovery_lost);
+  w.Key("deadline_miss_steady").UInt(deadline_miss_steady);
+  w.Key("deadline_miss_fault").UInt(deadline_miss_fault);
+  w.Key("deadline_miss_recovery").UInt(deadline_miss_recovery);
+  w.Key("max_outage_ms").Number(max_outage_ms);
+  w.Key("max_outage_flow").String(max_outage_flow);
+  w.Key("outage_windows").Int(outage_windows);
+
+  auto hist = [&](const char* key, const Histogram& h) {
+    w.Key(key).BeginObject();
+    w.Key("count").UInt(h.count());
+    w.Key("p50").Number(h.Percentile(50));
+    w.Key("p99").Number(h.Percentile(99));
+    w.Key("p999").Number(h.Percentile(99.9));
+    w.Key("max").Number(h.Max());
+    w.EndObject();
+  };
+  hist("steady_latency_ms", steady_latency_ms);
+  hist("fault_latency_ms", fault_latency_ms);
+  hist("recovery_latency_ms", recovery_latency_ms);
+  if (spec.kind == Kind::kAllreduce) {
+    hist("step_ms", step_ms);
+    w.Key("steps_completed").UInt(steps_completed);
+  }
+
+  w.Key("flows").BeginArray();
+  for (const FlowStats& f : flows) {
+    w.BeginObject();
+    w.Key("flow").String(f.name);
+    w.Key("offered").UInt(f.offered);
+    w.Key("rejected").UInt(f.rejected);
+    w.Key("completed").UInt(f.completed);
+    w.Key("timeouts").UInt(f.timeouts);
+    w.Key("deadline_misses").UInt(f.deadline_misses);
+    w.Key("max_outage_ms").Number(f.max_outage_ms);
+    w.Key("outage_windows").Int(f.outage_windows);
+    w.Key("excused_ms").Number(f.excused_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Take();
+}
+
+std::vector<std::pair<std::string, std::string>> JudgeSlo(
+    const SloReport& report) {
+  std::vector<std::pair<std::string, std::string>> violations;
+  if (!report.spec.enabled() || report.flows.empty()) {
+    return violations;
+  }
+  char buf[256];
+
+  // Outage: the worst per-flow gap must fit the diameter-scaled
+  // reconfiguration budget — the "pause, not a failure" bound.
+  if (report.max_outage_ms > report.budget.outage_ms) {
+    std::snprintf(buf, sizeof buf,
+                  "flow %s outage window %.1f ms exceeds budget %.1f ms "
+                  "(diameter %d)",
+                  report.max_outage_flow.c_str(), report.max_outage_ms,
+                  report.budget.outage_ms, report.budget.diameter);
+    violations.emplace_back("slo-outage", buf);
+  }
+
+  // Tail latency: post-quiescence p999 vs the steady-state baseline.
+  if (report.steady_latency_ms.count() >= report.budget.min_latency_samples &&
+      report.recovery_latency_ms.count() >=
+          report.budget.min_latency_samples) {
+    double steady = report.steady_latency_ms.Percentile(99.9);
+    double recovery = report.recovery_latency_ms.Percentile(99.9);
+    double limit = std::max(steady * report.budget.latency_factor,
+                            steady + report.budget.latency_slack_ms);
+    if (recovery > limit) {
+      std::snprintf(buf, sizeof buf,
+                    "recovery p999 %.3f ms exceeds %.3f ms "
+                    "(steady p999 %.3f ms, factor %.1f)",
+                    recovery, limit, steady, report.budget.latency_factor);
+      violations.emplace_back("slo-latency", buf);
+    }
+  }
+
+  // Loss: nothing sent on a serviceable flow may vanish forever once the
+  // network has quiesced.
+  if (report.recovery_lost > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%llu op(s) lost forever after quiescence",
+                  static_cast<unsigned long long>(report.recovery_lost));
+    violations.emplace_back("slo-loss", buf);
+  }
+
+  // Deadlines: periodic streams may only miss while the fault script is
+  // actively disturbing the network.
+  std::uint64_t misses =
+      report.deadline_miss_steady + report.deadline_miss_recovery;
+  if (misses > 0) {
+    std::snprintf(buf, sizeof buf,
+                  "%llu deadline miss(es) outside the fault window "
+                  "(steady %llu, recovery %llu)",
+                  static_cast<unsigned long long>(misses),
+                  static_cast<unsigned long long>(report.deadline_miss_steady),
+                  static_cast<unsigned long long>(
+                      report.deadline_miss_recovery));
+    violations.emplace_back("slo-deadline", buf);
+  }
+  return violations;
+}
+
+}  // namespace workload
+}  // namespace autonet

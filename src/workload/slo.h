@@ -1,0 +1,190 @@
+// Per-flow SLO accounting for the workload engine, and the oracle that
+// judges a finished run on application impact.
+//
+// The paper's availability claim is that a reconfiguration is "a pause, not
+// a failure".  This file turns that into checkable numbers:
+//
+//   outage window   longest per-flow gap with traffic offered but nothing
+//                   delivered, net of *excused* time (spans during which the
+//                   flow was physically unserviceable — an endpoint off the
+//                   network or the endpoints in different components — where
+//                   no routing policy could have delivered anything)
+//   tail latency    delivery-latency histograms split by phase (steady /
+//                   fault / recovery), so post-quiescence p999 can be
+//                   compared against the steady-state baseline
+//   lost forever    ops sent on a serviceable flow that never completed even
+//                   though the flow was serviceable again at the end
+//   deadline misses periodic-stream frames missing their deadline outside
+//                   the fault window
+//
+// JudgeSlo() converts a report into violations against a diameter-scaled
+// budget, mirroring the convergence oracle's deadline scaling (§6.6.5).
+#ifndef SRC_WORKLOAD_SLO_H_
+#define SRC_WORKLOAD_SLO_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/time.h"
+#include "src/workload/spec.h"
+
+namespace autonet {
+namespace workload {
+
+// Run phases, in order.  The engine stamps each op with the phase it was
+// sent in; latency histograms are per sent-phase.
+enum class Phase : std::uint8_t { kSteady = 0, kFault = 1, kRecovery = 2 };
+inline constexpr int kNumPhases = 3;
+
+const char* PhaseName(Phase phase);
+
+// Budget knobs (campaign-level configuration).
+struct SloBudgetConfig {
+  // Outage budget: base + per_hop * diameter of the healthy topology at
+  // workload start.  Generous enough to cover legitimate skeptic hold-downs
+  // under repeated flapping, yet far below "the application failed".
+  Tick outage_base = 10 * kSecond;
+  Tick outage_per_hop = 2 * kSecond;
+  // Gaps shorter than this are ordinary queueing, not outages; a healthy
+  // steady-state run must report zero outage windows.
+  Tick outage_floor = 25 * kMillisecond;
+  // Recovery p999 must be within max(factor * steady p999, steady p999 +
+  // slack) once both phases have min_latency_samples.
+  double latency_factor = 2.0;
+  double latency_slack_ms = 2.0;
+  std::uint64_t min_latency_samples = 64;
+};
+
+// The budget resolved against a concrete topology.
+struct SloBudget {
+  double outage_ms = 0;
+  double floor_ms = 0;
+  double latency_factor = 2.0;
+  double latency_slack_ms = 2.0;
+  std::uint64_t min_latency_samples = 64;
+  int diameter = 0;
+};
+
+SloBudget ResolveBudget(const SloBudgetConfig& config, int diameter);
+
+// Accounts one flow.  The engine drives it: offers, completions, timeouts,
+// deadline misses, and a periodic Advance carrying serviceability.
+class FlowSlo {
+ public:
+  FlowSlo() = default;
+  FlowSlo(std::string name, Tick outage_floor)
+      : name_(std::move(name)), floor_(outage_floor) {}
+
+  void OnOffered(Tick now, bool accepted);
+  // `sent_phase` is the phase the op was sent in (latency attribution);
+  // completions also close the current outage gap.
+  void OnCompleted(Tick now, Phase sent_phase, double latency_ms);
+  void OnTimeout() { ++timeouts_; }
+  void OnDeadlineMiss(Phase phase) { ++deadline_miss_[static_cast<int>(phase)]; }
+  // Periodic bookkeeping: accrues excused time while the flow is physically
+  // unserviceable.  `dt` is sim time since the previous Advance.
+  void Advance(Tick dt, bool serviceable);
+  // Closes the final gap.  `outstanding` says whether offered work is still
+  // undelivered (an open gap with nothing outstanding is idleness, not
+  // outage).
+  void Finalize(Tick now, bool outstanding);
+
+  const std::string& name() const { return name_; }
+  std::uint64_t offered() const { return offered_; }
+  std::uint64_t rejected() const { return rejected_; }
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  std::uint64_t deadline_misses(Phase phase) const {
+    return deadline_miss_[static_cast<int>(phase)];
+  }
+  const Histogram& latency_ms(Phase phase) const {
+    return latency_[static_cast<int>(phase)];
+  }
+  double max_outage_ms() const { return max_outage_ms_; }
+  int outage_windows() const { return outage_windows_; }
+  double excused_ms() const { return static_cast<double>(excused_total_) / 1e6; }
+
+ private:
+  void CloseGap(Tick now);
+
+  std::string name_;
+  Tick floor_ = 25 * kMillisecond;
+
+  std::uint64_t offered_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t timeouts_ = 0;
+  std::uint64_t deadline_miss_[kNumPhases] = {0, 0, 0};
+  Histogram latency_[kNumPhases];
+
+  // Outage gap state: anchor is the last completion (or the first offer);
+  // excused time accrued inside the current gap is subtracted before the
+  // gap is judged against the floor.
+  Tick anchor_ = -1;
+  Tick excused_in_gap_ = 0;
+  Tick excused_total_ = 0;
+  double max_outage_ms_ = 0;
+  int outage_windows_ = 0;
+};
+
+// Aggregated per-run result the engine produces at Finalize.
+struct SloReport {
+  Spec spec;
+  SloBudget budget;
+
+  struct FlowStats {
+    std::string name;
+    std::uint64_t offered = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t timeouts = 0;
+    std::uint64_t deadline_misses = 0;
+    double max_outage_ms = 0;
+    int outage_windows = 0;
+    double excused_ms = 0;
+  };
+  std::vector<FlowStats> flows;
+
+  // Totals across flows.
+  std::uint64_t offered = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  std::uint64_t damaged = 0;
+  std::uint64_t deadline_miss_steady = 0;
+  std::uint64_t deadline_miss_fault = 0;
+  std::uint64_t deadline_miss_recovery = 0;
+  // Ops sent while the flow was serviceable that never completed although
+  // the flow was serviceable again at finalize ("lost forever").
+  std::uint64_t recovery_lost = 0;
+
+  // Merged latency per phase (ms).
+  Histogram steady_latency_ms;
+  Histogram fault_latency_ms;
+  Histogram recovery_latency_ms;
+
+  // Collective step times (allreduce only).
+  Histogram step_ms;
+  std::uint64_t steps_completed = 0;
+
+  // Worst flow outage, and which flow it was.
+  double max_outage_ms = 0;
+  std::string max_outage_flow;
+  int outage_windows = 0;
+
+  std::string ToJson() const;
+};
+
+// Judges a report against its budget; returns (oracle name, detail) pairs,
+// empty when every SLO held.  Oracle names: slo-outage, slo-latency,
+// slo-loss, slo-deadline.
+std::vector<std::pair<std::string, std::string>> JudgeSlo(
+    const SloReport& report);
+
+}  // namespace workload
+}  // namespace autonet
+
+#endif  // SRC_WORKLOAD_SLO_H_

@@ -1,0 +1,216 @@
+#include "src/workload/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace autonet {
+namespace workload {
+
+const char* KindName(Kind kind) {
+  switch (kind) {
+    case Kind::kNone:
+      return "none";
+    case Kind::kRpc:
+      return "rpc";
+    case Kind::kAllreduce:
+      return "allreduce";
+    case Kind::kStreams:
+      return "streams";
+  }
+  return "none";
+}
+
+namespace {
+
+// Same literal forms as the chaos scenario grammar ("250ms", "1.5s"), kept
+// local because chaos depends on workload, not the other way around.
+std::string TimeText(Tick t) {
+  auto exact = [&](Tick unit) { return t % unit == 0; };
+  char buf[32];
+  if (t != 0 && exact(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(t / kSecond));
+  } else if (t != 0 && exact(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(t / kMillisecond));
+  } else if (t != 0 && exact(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(t / kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+bool ParseTime(const std::string& tok, Tick* out) {
+  std::size_t i = 0;
+  while (i < tok.size() &&
+         (std::isdigit(static_cast<unsigned char>(tok[i])) || tok[i] == '.')) {
+    ++i;
+  }
+  if (i == 0 || i == tok.size()) {
+    return false;
+  }
+  double value;
+  try {
+    std::size_t consumed;
+    value = std::stod(tok.substr(0, i), &consumed);
+    if (consumed != i) {
+      return false;
+    }
+  } catch (...) {
+    return false;
+  }
+  std::string unit = tok.substr(i);
+  double scale;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = kMicrosecond;
+  } else if (unit == "ms") {
+    scale = kMillisecond;
+  } else if (unit == "s") {
+    scale = kSecond;
+  } else {
+    return false;
+  }
+  *out = static_cast<Tick>(std::llround(value * scale));
+  return true;
+}
+
+bool ParseCount(const std::string& tok, long long* out) {
+  try {
+    std::size_t consumed;
+    long long v = std::stoll(tok, &consumed);
+    if (consumed != tok.size() || v <= 0) {
+      return false;
+    }
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string Spec::ToText() const {
+  std::ostringstream out;
+  out << KindName(kind);
+  if (kind == Kind::kNone) {
+    return out.str();
+  }
+  out << " bytes " << data_bytes;
+  switch (kind) {
+    case Kind::kRpc:
+      out << " response " << response_bytes << " window " << window
+          << " timeout " << TimeText(timeout);
+      break;
+    case Kind::kAllreduce:
+      out << " timeout " << TimeText(timeout);
+      break;
+    case Kind::kStreams:
+      out << " period " << TimeText(period) << " deadline "
+          << TimeText(deadline);
+      break;
+    case Kind::kNone:
+      break;
+  }
+  return out.str();
+}
+
+bool ParseSpec(const std::vector<std::string>& tokens, std::size_t start,
+               Spec* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  if (start >= tokens.size()) {
+    return fail("expected a workload kind (rpc|allreduce|streams)");
+  }
+  Spec spec;
+  const std::string& kind = tokens[start];
+  if (kind == "rpc") {
+    spec.kind = Kind::kRpc;
+  } else if (kind == "allreduce") {
+    spec.kind = Kind::kAllreduce;
+  } else if (kind == "streams") {
+    spec.kind = Kind::kStreams;
+  } else if (kind == "none") {
+    spec.kind = Kind::kNone;
+  } else {
+    return fail("unknown workload kind '" + kind + "'");
+  }
+  for (std::size_t i = start + 1; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      return fail("workload key '" + tokens[i] + "' is missing a value");
+    }
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    long long count = 0;
+    Tick t = 0;
+    if (key == "bytes") {
+      if (!ParseCount(value, &count)) {
+        return fail("bad bytes '" + value + "'");
+      }
+      spec.data_bytes = static_cast<std::size_t>(count);
+    } else if (key == "response") {
+      if (!ParseCount(value, &count)) {
+        return fail("bad response '" + value + "'");
+      }
+      spec.response_bytes = static_cast<std::size_t>(count);
+    } else if (key == "window") {
+      if (!ParseCount(value, &count) || count > 64) {
+        return fail("bad window '" + value + "' (1..64)");
+      }
+      spec.window = static_cast<int>(count);
+    } else if (key == "period") {
+      if (!ParseTime(value, &t) || t <= 0) {
+        return fail("bad period '" + value + "'");
+      }
+      spec.period = t;
+    } else if (key == "deadline") {
+      if (!ParseTime(value, &t) || t <= 0) {
+        return fail("bad deadline '" + value + "'");
+      }
+      spec.deadline = t;
+    } else if (key == "timeout") {
+      if (!ParseTime(value, &t) || t <= 0) {
+        return fail("bad timeout '" + value + "'");
+      }
+      spec.timeout = t;
+    } else {
+      return fail("unknown workload key '" + key + "'");
+    }
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  *out = spec;
+  return true;
+}
+
+bool ParseSpecText(const std::string& text, Spec* out, std::string* error) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        tokens.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    tokens.push_back(std::move(cur));
+  }
+  return ParseSpec(tokens, 0, out, error);
+}
+
+}  // namespace workload
+}  // namespace autonet

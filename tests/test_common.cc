@@ -319,6 +319,37 @@ TEST(Histogram, MergeIsSampleExact) {
   EXPECT_DOUBLE_EQ(empty.Min(), 1);
 }
 
+TEST(Histogram, P999InterpolatesIntoSparseTail) {
+  // One outlier among 1000 samples: p999 should land just off the bulk,
+  // not jump straight to the outlier (that is p100's job).
+  Histogram h;
+  for (int i = 0; i < 999; ++i) {
+    h.Add(1.0);
+  }
+  h.Add(100.0);
+  // rank = 0.999 * 999 = 998.001: between the last 1.0 and the outlier.
+  EXPECT_NEAR(h.Percentile(99.9), 1.0 + 0.001 * 99.0, 1e-9);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(Histogram, P999WithFewerSamplesThanATail) {
+  // Far fewer than 1000 samples: p999 must interpolate inside the range,
+  // never index past the max.
+  Histogram h;
+  h.Add(5.0);
+  h.Add(7.0);
+  h.Add(9.0);
+  // rank = 0.999 * 2 = 1.998 -> 7 + 0.998 * 2.
+  EXPECT_NEAR(h.Percentile(99.9), 8.996, 1e-9);
+
+  Histogram one;
+  one.Add(42.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(99.9), 42.0);
+
+  Histogram none;
+  EXPECT_DOUBLE_EQ(none.Percentile(99.9), 0.0);
+}
+
 TEST(Time, PropagationDelayMatchesPaperFormula) {
   // W = 64.1 slots/km: a 2 km link is 128.2 slots one way (section 6.2).
   EXPECT_EQ(PropagationDelayNs(2.0), static_cast<Tick>(128.2 * 80));

@@ -60,6 +60,54 @@ TEST_F(TrafficNetTest, PoissonModeRespectsArrivalRate) {
   EXPECT_EQ(report.DeliveryRate(), 1.0);
 }
 
+TEST_F(TrafficNetTest, ZeroMeanInterarrivalIsSaturatingMode) {
+  TrafficGenerator::Config config;
+  config.data_bytes = 1000;
+  config.mean_interarrival = 0;
+  TrafficGenerator gen(net_.get(), config);
+  auto report =
+      gen.Run(TrafficGenerator::Permutation(net_->num_hosts(), 1),
+              10 * kMillisecond);
+  EXPECT_TRUE(report.error.empty());
+  // Saturating mode keeps every source's queue topped up: far more traffic
+  // than one packet per flow.
+  EXPECT_GT(report.delivered, 4u);
+}
+
+TEST_F(TrafficNetTest, NegativeMeanInterarrivalFailsLoudly) {
+  TrafficGenerator::Config config;
+  config.mean_interarrival = -5 * kMillisecond;
+  TrafficGenerator gen(net_.get(), config);
+  auto report =
+      gen.Run(TrafficGenerator::Permutation(net_->num_hosts(), 1),
+              10 * kMillisecond);
+  // Refused outright, not silently treated as saturating.
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_EQ(report.sent, 0u);
+  EXPECT_EQ(report.delivered, 0u);
+}
+
+TEST_F(TrafficNetTest, TinyPoissonMeanStillMakesProgress) {
+  // A 1-tick mean used to make the exponential draw round to a zero
+  // increment, wedging Run() in an infinite loop at one sim instant.
+  TrafficGenerator::Config config;
+  config.data_bytes = 64;
+  config.mean_interarrival = 1;  // 1 ns
+  TrafficGenerator gen(net_.get(), config);
+  auto report = gen.Run({{0, 1}}, 1 * kMillisecond);
+  EXPECT_TRUE(report.error.empty());
+  EXPECT_GT(report.sent, 0u);
+}
+
+TEST(TrafficFlows, RandomPairsNeedsTwoHosts) {
+  TrafficGenerator::Config config;
+  TrafficGenerator gen(nullptr, config);
+  // Fewer than two hosts cannot form a src != dst pair; the old code spun
+  // forever (one host) or hit modulo-by-zero UB (zero hosts).
+  EXPECT_TRUE(gen.RandomPairs(0, 8).empty());
+  EXPECT_TRUE(gen.RandomPairs(1, 8).empty());
+}
+
 TEST_F(TrafficNetTest, RandomPairsDeterministicPerSeed) {
   TrafficGenerator::Config config;
   config.seed = 7;
