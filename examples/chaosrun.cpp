@@ -14,6 +14,10 @@
 //                                     run and judge the SLO oracles too
 //   chaosrun --slo-corpus             run the built-in SLO corpus (scenarios
 //                                     with their own workload lines)
+//   chaosrun --adversary 'root-chase' arm the feedback-driven fault
+//                                     adversary in every run
+//   chaosrun --adversary-corpus       run the built-in adversarial corpus
+//                                     (every strategy + regressions)
 //   chaosrun --report out.json        write the campaign report
 //   chaosrun --compare-jobs1          rerun single-threaded, record speedup
 //   chaosrun --list / --dump-corpus   inspect what would run
@@ -25,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adversary/spec.h"
 #include "src/chaos/corpus.h"
 #include "src/chaos/runner.h"
 #include "src/workload/spec.h"
@@ -41,6 +46,8 @@ int Usage(const char* argv0) {
       "  --corpus FILE     scenario file (default: built-in corpus)\n"
       "  --slo-corpus      use the built-in SLO corpus (workload scenarios)\n"
       "  --workload SPEC   campaign workload, e.g. 'rpc bytes 256 window 2'\n"
+      "  --adversary SPEC  campaign adversary, e.g. 'root-chase moves 3'\n"
+      "  --adversary-corpus  use the built-in adversarial corpus\n"
       "  --scenario NAME   run only this scenario (repeatable)\n"
       "  --topo NAME       run only this topology (repeatable)\n"
       "  --topos all       use every registered topology\n"
@@ -60,7 +67,9 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string corpus_file;
   bool slo_corpus = false;
+  bool adversary_corpus = false;
   std::string workload_text;
+  std::string adversary_text;
   std::vector<std::string> want_scenarios;
   std::vector<std::string> want_topos;
   std::vector<std::uint64_t> seeds;
@@ -81,10 +90,16 @@ int main(int argc, char** argv) {
       corpus_file = v;
     } else if (arg == "--slo-corpus") {
       slo_corpus = true;
+    } else if (arg == "--adversary-corpus") {
+      adversary_corpus = true;
     } else if (arg == "--workload") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       workload_text = v;
+    } else if (arg == "--adversary") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      adversary_text = v;
     } else if (arg == "--scenario") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -126,6 +141,8 @@ int main(int argc, char** argv) {
       std::fputs(DefaultCorpusText().c_str(), stdout);
       std::fputs("\n", stdout);
       std::fputs(SloCorpusText().c_str(), stdout);
+      std::fputs("\n", stdout);
+      std::fputs(AdversaryCorpusText().c_str(), stdout);
       return 0;
     } else {
       return Usage(argv[0]);
@@ -136,15 +153,23 @@ int main(int argc, char** argv) {
   // default and SLO corpora together so any reproducer line replays without
   // extra flags.
   std::vector<Scenario> scenarios;
-  if (!corpus_file.empty() && slo_corpus) {
-    std::fprintf(stderr, "--corpus and --slo-corpus are exclusive\n");
+  if ((!corpus_file.empty() ? 1 : 0) + (slo_corpus ? 1 : 0) +
+          (adversary_corpus ? 1 : 0) >
+      1) {
+    std::fprintf(stderr,
+                 "--corpus, --slo-corpus and --adversary-corpus are "
+                 "exclusive\n");
     return 2;
   }
   if (corpus_file.empty()) {
-    scenarios = slo_corpus ? SloCorpus() : DefaultCorpus();
-    if (!slo_corpus && !want_scenarios.empty()) {
+    scenarios = slo_corpus         ? SloCorpus()
+                : adversary_corpus ? AdversaryCorpus()
+                                   : DefaultCorpus();
+    if (!slo_corpus && !adversary_corpus && !want_scenarios.empty()) {
       std::vector<Scenario> slo = SloCorpus();
       scenarios.insert(scenarios.end(), slo.begin(), slo.end());
+      std::vector<Scenario> adv = AdversaryCorpus();
+      scenarios.insert(scenarios.end(), adv.begin(), adv.end());
     }
   } else {
     std::ifstream in(corpus_file);
@@ -220,6 +245,14 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!adversary_text.empty()) {
+    std::string error;
+    if (!adversary::ParseSpecText(adversary_text, &config.adversary,
+                                  &error)) {
+      std::fprintf(stderr, "--adversary: %s\n", error.c_str());
+      return 2;
+    }
+  }
   config.scenarios = std::move(scenarios);
   config.topologies = std::move(topologies);
   config.seeds = std::move(seeds);
@@ -272,6 +305,27 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(r.slo_ops), r.slo_max_outage_ms,
           r.slo_outage_windows, r.slo_steady_p999_ms, r.slo_recovery_p999_ms,
           static_cast<unsigned long long>(r.slo_recovery_lost));
+    }
+  }
+
+  bool any_adversary = false;
+  for (const RunResult& r : report.runs) {
+    if (!r.adversary.empty()) {
+      any_adversary = true;
+      break;
+    }
+  }
+  if (any_adversary) {
+    std::printf("adversary runs:\n");
+    for (const RunResult& r : report.runs) {
+      if (r.adversary.empty()) {
+        continue;
+      }
+      std::printf("  %-24s %-9s seed %llu: [%s] %d moves, transcript %016llx\n",
+                  r.scenario.c_str(), r.topology.c_str(),
+                  static_cast<unsigned long long>(r.seed), r.adversary.c_str(),
+                  r.adversary_moves,
+                  static_cast<unsigned long long>(r.adversary_hash));
     }
   }
 

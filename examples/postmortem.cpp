@@ -9,14 +9,23 @@
 //   postmortem --scenario link-flap --topo line6 --seed 0 --events
 //   postmortem --scenario cable-cut --topo ring8 --seed 3 --trace out.json
 //                                     (Perfetto / chrome://tracing)
+//   postmortem --scenario adv-corrupt-epoch --topo srclan16 --seed 1
+//                                     (adversarial runs replay too: the
+//                                      engine's moves land in the timeline
+//                                      as flight events and the transcript
+//                                      prints below the actions)
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/adversary/adversary.h"
+#include "src/adversary/spec.h"
 #include "src/chaos/corpus.h"
 #include "src/chaos/executor.h"
 #include "src/chaos/oracles.h"
@@ -34,10 +43,13 @@ int Usage(const char* argv0) {
       stderr,
       "usage: %s --scenario NAME --topo NAME --seed N [options]\n"
       "       %s --schedule ID [--events]\n"
-      "  --scenario NAME   chaos scenario (from the built-in corpus)\n"
+      "  --scenario NAME   chaos scenario (chaos, SLO, and adversary\n"
+      "                    built-in corpora are all searched)\n"
       "  --topo NAME       topology name (chaos registry)\n"
       "  --seed N          scenario seed (default 0)\n"
-      "  --corpus FILE     scenario file instead of the built-in corpus\n"
+      "  --corpus FILE     scenario file instead of the built-in corpora\n"
+      "  --adversary SPEC  arm a campaign-level adversary, as in chaosrun\n"
+      "                    reproducer lines (scenario-level specs win)\n"
       "  --schedule ID     protocheck schedule id instead of a scenario\n"
       "  --events          list every flight-recorder event per epoch\n"
       "  --trace FILE      write a Perfetto-compatible trace (scenario mode)\n",
@@ -61,6 +73,7 @@ int main(int argc, char** argv) {
   std::string scenario_name;
   std::string topo_name;
   std::string corpus_file;
+  std::string adversary_text;
   std::string schedule_id;
   std::string trace_file;
   std::uint64_t seed = 0;
@@ -87,6 +100,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       corpus_file = v;
+    } else if (arg == "--adversary") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      adversary_text = v;
     } else if (arg == "--schedule") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -133,6 +150,9 @@ int main(int argc, char** argv) {
   std::vector<chaos::Scenario> scenarios;
   if (corpus_file.empty()) {
     scenarios = chaos::DefaultCorpus();
+    for (auto& extra : {chaos::SloCorpus(), chaos::AdversaryCorpus()}) {
+      scenarios.insert(scenarios.end(), extra.begin(), extra.end());
+    }
   } else {
     std::ifstream in(corpus_file);
     if (!in) {
@@ -180,14 +200,40 @@ int main(int argc, char** argv) {
   }
   net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond);
 
+  // Arm the adversary exactly as chaos::RunOne does: the scenario's own
+  // spec wins, else a campaign-level one passed back in via --adversary
+  // (chaosrun stamps it into reproducer lines).
+  adversary::Spec cli_adv;
+  if (!adversary_text.empty() &&
+      !adversary::ParseSpecText(adversary_text, &cli_adv, &error)) {
+    std::fprintf(stderr, "--adversary: %s\n", error.c_str());
+    return 2;
+  }
+  const adversary::Spec& adv =
+      scenario->adversary.enabled() ? scenario->adversary : cli_adv;
+
   chaos::ScenarioExecutor executor(&net, *scenario, seed);
   Tick script_start = net.sim().now();
   executor.Schedule(script_start);
-  if (executor.script_end() > net.sim().now()) {
-    net.Run(executor.script_end() - net.sim().now());
+  std::unique_ptr<adversary::Engine> adv_engine;
+  if (adv.enabled()) {
+    adv_engine = std::make_unique<adversary::Engine>(&net, adv, seed);
+    adv_engine->Arm(script_start);
+  }
+  Tick run_until = executor.script_end();
+  if (adv_engine != nullptr) {
+    run_until = std::max(run_until, adv_engine->end());
+  }
+  if (run_until > net.sim().now()) {
+    net.Run(run_until - net.sim().now());
   }
   for (const std::string& action : executor.resolved()) {
     std::printf("action: %s\n", action.c_str());
+  }
+  if (adv_engine != nullptr) {
+    for (const std::string& line : adv_engine->transcript()) {
+      std::printf("adversary: %s\n", line.c_str());
+    }
   }
 
   chaos::OracleContext ctx;

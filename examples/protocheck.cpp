@@ -35,6 +35,8 @@ int Usage(const char* argv0) {
       "  --fuzz-seed S     fuzzer seed (default 1)\n"
       "  --corpus FILE     check a corpus of <type>:<accept|reject>:<hex>\n"
       "  --inject N        inject N mutated bodies into a live network\n"
+      "  --inject-target T parsers to hit: switch, host, all (default\n"
+      "                    switch; host covers the driver + SRP client)\n"
       "  --sweep TOPO      explore interleavings on this topology\n"
       "  --budget N        schedule budget for the sweep (default 50000)\n"
       "  --max-points N    decision points recorded per schedule (default 64)\n"
@@ -68,6 +70,7 @@ int main(int argc, char** argv) {
   std::uint64_t fuzz_seed = 1;
   std::string corpus_file;
   int inject_count = 0;
+  std::string inject_target = "switch";
   std::string sweep_topo;
   int budget = 50000;
   int max_points = 64;
@@ -99,6 +102,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       inject_count = std::atoi(v);
+    } else if (arg == "--inject-target") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      inject_target = v;
     } else if (arg == "--sweep") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -182,10 +189,11 @@ int main(int argc, char** argv) {
     config.topo = topo;
     config.seed = seed;
     config.count = inject_count;
+    config.target = inject_target;
     InjectReport report = FuzzInject(config);
-    std::printf("inject: %d mutated bodies into %s (seed %llu): "
+    std::printf("inject: %d mutated bodies into %s [%s] (seed %llu): "
                 "epoch %llu -> %llu, %zu findings\n",
-                report.injected, config.topo.c_str(),
+                report.injected, config.topo.c_str(), config.target.c_str(),
                 static_cast<unsigned long long>(seed),
                 static_cast<unsigned long long>(report.epoch_before),
                 static_cast<unsigned long long>(report.epoch_after),

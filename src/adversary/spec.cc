@@ -1,0 +1,258 @@
+#include "src/adversary/spec.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace autonet {
+namespace adversary {
+
+const char* StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNone:
+      return "none";
+    case Strategy::kRootChase:
+      return "root-chase";
+    case Strategy::kPhaseSnipe:
+      return "phase-snipe";
+    case Strategy::kStorm:
+      return "storm";
+    case Strategy::kFlapResonance:
+      return "flap-resonance";
+    case Strategy::kCorruptTable:
+      return "corrupt-table";
+    case Strategy::kCorruptSkeptic:
+      return "corrupt-skeptic";
+    case Strategy::kCorruptPort:
+      return "corrupt-port";
+    case Strategy::kCorruptEpoch:
+      return "corrupt-epoch";
+  }
+  return "none";
+}
+
+std::string TimeText(Tick t) {
+  auto exact = [&](Tick unit) { return t % unit == 0; };
+  char buf[32];
+  if (t != 0 && exact(kSecond)) {
+    std::snprintf(buf, sizeof buf, "%llds", static_cast<long long>(t / kSecond));
+  } else if (t != 0 && exact(kMillisecond)) {
+    std::snprintf(buf, sizeof buf, "%lldms",
+                  static_cast<long long>(t / kMillisecond));
+  } else if (t != 0 && exact(kMicrosecond)) {
+    std::snprintf(buf, sizeof buf, "%lldus",
+                  static_cast<long long>(t / kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(t));
+  }
+  return buf;
+}
+
+namespace {
+
+bool ParseTime(const std::string& tok, Tick* out) {
+  std::size_t i = 0;
+  while (i < tok.size() &&
+         (std::isdigit(static_cast<unsigned char>(tok[i])) || tok[i] == '.')) {
+    ++i;
+  }
+  if (i == 0 || i == tok.size()) {
+    return false;
+  }
+  double value;
+  try {
+    std::size_t consumed;
+    value = std::stod(tok.substr(0, i), &consumed);
+    if (consumed != i) {
+      return false;
+    }
+  } catch (...) {
+    return false;
+  }
+  std::string unit = tok.substr(i);
+  double scale;
+  if (unit == "ns") {
+    scale = 1.0;
+  } else if (unit == "us") {
+    scale = kMicrosecond;
+  } else if (unit == "ms") {
+    scale = kMillisecond;
+  } else if (unit == "s") {
+    scale = kSecond;
+  } else {
+    return false;
+  }
+  *out = static_cast<Tick>(std::llround(value * scale));
+  return true;
+}
+
+bool ParseCount(const std::string& tok, long long* out) {
+  try {
+    std::size_t consumed;
+    long long v = std::stoll(tok, &consumed);
+    if (consumed != tok.size() || v < 0) {
+      return false;
+    }
+    *out = v;
+    return true;
+  } catch (...) {
+    return false;
+  }
+}
+
+bool ValidPhase(const std::string& phase) {
+  return phase == "monitor" || phase == "tree" || phase == "fanin" ||
+         phase == "compute" || phase == "install";
+}
+
+}  // namespace
+
+Tick Spec::effective_period() const {
+  if (period > 0) {
+    return period;
+  }
+  switch (strategy) {
+    case Strategy::kPhaseSnipe:
+      return 2 * kMillisecond;   // phases last single-digit milliseconds
+    case Strategy::kFlapResonance:
+      return 10 * kMillisecond;  // must catch the re-admit edge promptly
+    default:
+      return 100 * kMillisecond;
+  }
+}
+
+std::string Spec::ToText() const {
+  std::ostringstream out;
+  out << StrategyName(strategy);
+  if (strategy == Strategy::kNone) {
+    return out.str();
+  }
+  out << " moves " << moves << " duration " << TimeText(duration);
+  if (period > 0) {
+    out << " period " << TimeText(period);
+  }
+  switch (strategy) {
+    case Strategy::kPhaseSnipe:
+      out << " phase " << phase;
+      break;
+    case Strategy::kStorm:
+      out << " burst " << burst;
+      break;
+    case Strategy::kCorruptEpoch:
+      out << " amount " << amount;
+      break;
+    default:
+      break;
+  }
+  return out.str();
+}
+
+bool ParseSpec(const std::vector<std::string>& tokens, std::size_t start,
+               Spec* out, std::string* error) {
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = why;
+    }
+    return false;
+  };
+  if (start >= tokens.size()) {
+    return fail(
+        "expected an adversary strategy (root-chase|phase-snipe|storm|"
+        "flap-resonance|corrupt-table|corrupt-skeptic|corrupt-port|"
+        "corrupt-epoch)");
+  }
+  Spec spec;
+  const std::string& strategy = tokens[start];
+  if (strategy == "none") {
+    spec.strategy = Strategy::kNone;
+  } else if (strategy == "root-chase") {
+    spec.strategy = Strategy::kRootChase;
+  } else if (strategy == "phase-snipe") {
+    spec.strategy = Strategy::kPhaseSnipe;
+  } else if (strategy == "storm") {
+    spec.strategy = Strategy::kStorm;
+  } else if (strategy == "flap-resonance") {
+    spec.strategy = Strategy::kFlapResonance;
+  } else if (strategy == "corrupt-table") {
+    spec.strategy = Strategy::kCorruptTable;
+  } else if (strategy == "corrupt-skeptic") {
+    spec.strategy = Strategy::kCorruptSkeptic;
+  } else if (strategy == "corrupt-port") {
+    spec.strategy = Strategy::kCorruptPort;
+  } else if (strategy == "corrupt-epoch") {
+    spec.strategy = Strategy::kCorruptEpoch;
+  } else {
+    return fail("unknown adversary strategy '" + strategy + "'");
+  }
+  for (std::size_t i = start + 1; i < tokens.size(); i += 2) {
+    if (i + 1 >= tokens.size()) {
+      return fail("adversary key '" + tokens[i] + "' is missing a value");
+    }
+    const std::string& key = tokens[i];
+    const std::string& value = tokens[i + 1];
+    long long count = 0;
+    Tick t = 0;
+    if (key == "moves") {
+      if (!ParseCount(value, &count) || count == 0 || count > 1000) {
+        return fail("bad moves '" + value + "' (1..1000)");
+      }
+      spec.moves = static_cast<int>(count);
+    } else if (key == "duration") {
+      if (!ParseTime(value, &t) || t <= 0) {
+        return fail("bad duration '" + value + "'");
+      }
+      spec.duration = t;
+    } else if (key == "period") {
+      if (!ParseTime(value, &t) || t <= 0) {
+        return fail("bad period '" + value + "'");
+      }
+      spec.period = t;
+    } else if (key == "phase") {
+      if (!ValidPhase(value)) {
+        return fail("bad phase '" + value +
+                    "' (monitor|tree|fanin|compute|install)");
+      }
+      spec.phase = value;
+    } else if (key == "burst") {
+      if (!ParseCount(value, &count) || count == 0 || count > 64) {
+        return fail("bad burst '" + value + "' (1..64)");
+      }
+      spec.burst = static_cast<int>(count);
+    } else if (key == "amount") {
+      if (!ParseCount(value, &count)) {
+        return fail("bad amount '" + value + "'");
+      }
+      spec.amount = static_cast<std::uint64_t>(count);
+    } else {
+      return fail("unknown adversary key '" + key + "'");
+    }
+  }
+  if (error != nullptr) {
+    error->clear();
+  }
+  *out = spec;
+  return true;
+}
+
+bool ParseSpecText(const std::string& text, Spec* out, std::string* error) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        tokens.push_back(std::move(cur));
+        cur.clear();
+      }
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) {
+    tokens.push_back(std::move(cur));
+  }
+  return ParseSpec(tokens, 0, out, error);
+}
+
+}  // namespace adversary
+}  // namespace autonet

@@ -39,7 +39,8 @@ Autopilot::Autopilot(Switch* node, AutopilotConfig config)
 
 void Autopilot::Boot() {
   node_->SetCpHandler([this](Delivery d) { OnCpPacket(std::move(d)); });
-  node_->LoadForwardingTable(ForwardingTable::OneHopOnly());
+  expected_table_ = ForwardingTable::OneHopOnly();
+  node_->LoadForwardingTable(expected_table_);
   for (PortNum p = kFirstExternalPort; p < kPortsPerSwitch; ++p) {
     node_->SetPortForceIdhy(p, true);  // all ports start s.dead
     monitors_[p].clean_since = node_->now();
@@ -379,6 +380,38 @@ void Autopilot::SampleStatus() {
     monitors_[p].pending_crc_errors = 0;
     SamplePort(p, snap);
   }
+  if (++scrub_stride_ >= kScrubSampleStride) {
+    scrub_stride_ = 0;
+    ScrubTable();
+  }
+}
+
+// Periodic forwarding-table scrub: software never lets the switch's table
+// diverge from the image the control program last loaded, so any mismatch
+// is a memory fault in the table RAM and the image is simply reloaded.
+// The comparison models the hardware's background parity sweep and costs
+// no control-processor time; only an actual repair consumes the usual
+// table-load cost (and, on the prototype hardware, the reset that comes
+// with it — cheaper than forwarding through a corrupt entry indefinitely).
+void Autopilot::ScrubTable() {
+  if (node_->forwarding_table() == expected_table_) {
+    return;
+  }
+  if (m_table_scrub_repairs_ == nullptr) {
+    // Lazily registered so clean runs add no instrument (keeps metric
+    // snapshots — and the chaos fingerprints over them — byte-identical).
+    m_table_scrub_repairs_ = node_->sim()->metrics().GetCounter(
+        "switch." + node_->name() + ".autopilot.table_scrub_repairs");
+  }
+  m_table_scrub_repairs_->Increment();
+  node_->log().Logf(node_->now(),
+                    "table scrub: live table diverged from loaded image; "
+                    "reloading");
+  RunOnCpu(config_.cost_table_load, [this] {
+    node_->LoadForwardingTable(expected_table_);
+    ++stats_.tables_loaded;
+    stats_.last_table_load = node_->now();
+  });
 }
 
 void Autopilot::SamplePort(PortNum p, const PortStatus& snap) {
@@ -437,6 +470,15 @@ void Autopilot::SamplePort(PortNum p, const PortStatus& snap) {
     case PortState::kHost: {
       if (!snap.carrier || snap.bad_code > 0) {
         FailPort(p, "host link errors");
+        break;
+      }
+      if (!snap.is_host && snap.bad_syntax == 0 && snap.xmit_ok) {
+        // Switch-style flow control with clean syntax contradicts s.host:
+        // a genuine host interval carries a host directive (active host)
+        // or constant BadSyntax (alternate port), never bare switch flow
+        // control.  The state register is lying — most plausibly a memory
+        // fault (see CorruptPortState) — so reclassify via s.dead.
+        FailPort(p, "switch flow control on host port");
       }
       break;
     }
@@ -445,6 +487,14 @@ void Autopilot::SamplePort(PortNum p, const PortStatus& snap) {
     case PortState::kSwitchGood: {
       if (!snap.carrier || snap.bad_code > 0 || snap.bad_syntax > 0) {
         FailPort(p, "switch link errors");
+        break;
+      }
+      if (snap.is_host) {
+        // A host directive can never arrive over a switch-to-switch cable;
+        // the state register disagrees with the wire evidence (a corrupted
+        // register, or the cable was silently re-plugged into a host).
+        // Reclassify via s.dead rather than keep routing over it.
+        FailPort(p, "host directive on switch port");
       }
       break;
     }
@@ -668,7 +718,8 @@ void Autopilot::OnProbeReply(PortNum p, const ConnectivityMsg& msg) {
 
 void Autopilot::LoadOneHopTable() {
   RunOnCpu(config_.cost_table_load, [this] {
-    node_->LoadForwardingTable(ForwardingTable::OneHopOnly());
+    expected_table_ = ForwardingTable::OneHopOnly();
+    node_->LoadForwardingTable(expected_table_);
   });
 }
 
@@ -696,6 +747,7 @@ void Autopilot::ApplyConfig(const NetTopology& topo, int self_index,
         BuildForwardingTable(*topology_, tree, self_index_);
     RunOnCpu(config_.cost_table_load, [this, table = std::move(table), epoch] {
       node_->LoadForwardingTable(table);
+      expected_table_ = table;
       ++stats_.tables_loaded;
       stats_.last_table_load = node_->now();
       node_->log().Logf(node_->now(),
@@ -725,6 +777,7 @@ void Autopilot::PatchLocalTable(const char* reason) {
         return;  // a reconfiguration superseded the patch
       }
       node_->LoadForwardingTable(table);
+      expected_table_ = table;
       ++stats_.tables_loaded;
       stats_.last_table_load = node_->now();
     });

@@ -75,6 +75,24 @@ class Autopilot {
   // this stops advancing.
   Tick LastActivity() const;
 
+  // --- fault-injection surface (see src/adversary/) ---
+  // Each Corrupt* overwrites a raw state register the way a memory fault
+  // would, bypassing every transition path (no log line, no flight event,
+  // no engine notification).  Recovery must come from the control program's
+  // own monitoring: the status sampler and probes reclassify a lying port
+  // state, the skeptic Repair clamp bounds corrupt hysteresis registers.
+  void CorruptPortState(PortNum p, PortState s) { monitors_[p].state = s; }
+  void CorruptSkeptic(PortNum p, bool connectivity, int level,
+                      Tick last_event) {
+    Skeptic& s = connectivity ? monitors_[p].conn_skeptic
+                              : monitors_[p].status_skeptic;
+    s.CorruptState(level, last_event);
+  }
+  int skeptic_level(PortNum p, bool connectivity) const {
+    return connectivity ? monitors_[p].conn_skeptic.level()
+                        : monitors_[p].status_skeptic.level();
+  }
+
  private:
   struct PortMonitor {
     PortState state = PortState::kDead;
@@ -116,6 +134,7 @@ class Autopilot {
 
   void SampleStatus();
   void SamplePort(PortNum p, const PortStatus& snap);
+  void ScrubTable();
   void ProbePorts();
   void SendProbe(PortNum p);
   void OnProbeReply(PortNum p, const ConnectivityMsg& msg);
@@ -150,6 +169,15 @@ class Autopilot {
   SwitchNum switch_num_ = 0;
   std::optional<NetTopology> topology_;
   int self_index_ = -1;
+
+  // Table scrubber: the image the control program last loaded into the
+  // switch.  Every kScrubSampleStride status samples the live table is
+  // compared against it; software never diverges them, so a mismatch is a
+  // memory fault and the image is reloaded (see ScrubTable).
+  static constexpr int kScrubSampleStride = 16;
+  ForwardingTable expected_table_;
+  int scrub_stride_ = 0;
+  obs::Counter* m_table_scrub_repairs_ = nullptr;
 
   Stats stats_;
 };

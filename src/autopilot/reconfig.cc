@@ -98,7 +98,9 @@ void ReconfigEngine::JoinEpoch(std::uint64_t epoch, const char* reason,
   epoch_ = epoch;
   in_progress_ = true;
   config_applied_ = false;
-  suspect_epoch_ = 0;
+  suspect_epochs_.fill(0);
+  suspect_next_ = 0;
+  implausibly_stale_ = 0;
   if (flight_->armed()) {
     obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochJoin);
     ev.port = static_cast<std::int16_t>(inport);
@@ -287,8 +289,56 @@ void ReconfigEngine::ReevaluatePosition() {
 
 void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
   if (msg.epoch < epoch_) {
-    return;  // stale epoch: ignore (section 6.6.2)
+    if (epoch_ - msg.epoch > kMaxEpochJump) {
+      // The sender is implausibly far behind — which convicts *our* epoch
+      // register: the stale distance can only exceed kMaxEpochJump when
+      // epoch_ itself does, and no healthy network reaches 2^32 epochs
+      // (see kMaxEpochJump).  A runaway register would otherwise freeze
+      // this switch out forever: every neighbor message looks ancient
+      // here, every message we send looks implausibly far ahead there and
+      // is dropped.  After a few independent sightings — enough to rule
+      // out a single damaged incoming field — rejoin just above the
+      // neighbors' epoch (Dolev-style self-stabilization: the register is
+      // repaired from the ambient protocol traffic).
+      if (++implausibly_stale_ >= kStaleResyncThreshold) {
+        if (m_epoch_resyncs_ == nullptr) {
+          m_epoch_resyncs_ = sim_->metrics().GetCounter(
+              "switch." + log_->node_name() + ".reconfig.epoch_resyncs");
+        }
+        m_epoch_resyncs_->Increment();
+        log_->Logf(sim_->now(),
+                   "reconfig: epoch register %llu implausibly ahead of "
+                   "neighbors (%llu); resyncing",
+                   static_cast<unsigned long long>(epoch_),
+                   static_cast<unsigned long long>(msg.epoch));
+        if (flight_->armed()) {
+          obs::FlightEvent ev =
+              FlightBase(obs::FlightEventKind::kEpochResync);
+          ev.a = msg.epoch;
+          ev.port = static_cast<std::int16_t>(inport);
+          ev.origin = msg.sender_uid;
+          flight_->Record(ev);
+        }
+        JoinEpoch(msg.epoch + 1, "epoch register resync", inport,
+                  msg.sender_uid);
+      }
+      return;
+    }
+    // Ordinarily stale: ignore (section 6.6.2).  One repair: a position
+    // from a participant arriving while this switch is fully quiescent
+    // means the sender is stuck in an older epoch yet believes the link is
+    // usable — a diverged laggard (e.g. a corrupted-then-resynced register
+    // landed it below us).  Re-sending our position educates it into the
+    // current epoch; live waves never take this path because the protocol
+    // here is still in progress while peers are behind.
+    if (!in_progress_ && outgoing_.empty() &&
+        msg.kind == ReconfigMsg::Kind::kPosition &&
+        ports_[inport].participant) {
+      SendPositionTo(inport);
+    }
+    return;
   }
+  implausibly_stale_ = 0;
   if (msg.epoch > epoch_) {
     std::uint64_t jump = msg.epoch - epoch_;
     if (jump > kMaxEpochJump) {
@@ -311,30 +361,41 @@ void ReconfigEngine::OnMessage(PortNum inport, const ReconfigMsg& msg) {
       }
       return;
     }
-    if (jump > kEpochConfirmJump && msg.epoch != suspect_epoch_) {
-      // Plausible but far beyond anything a healthy neighbor produces: hold
-      // it until a second sighting of the same value (see kEpochConfirmJump).
-      // A genuine sender's reliable retransmission confirms it; a one-off
-      // damaged field never matches and the epoch space stays unburnt.
-      suspect_epoch_ = msg.epoch;
-      if (m_suspect_held_ == nullptr) {
-        m_suspect_held_ = sim_->metrics().GetCounter(
-            "switch." + log_->node_name() + ".reconfig.suspect_epochs_held");
+    if (jump > kEpochConfirmJump) {
+      bool confirmed = false;
+      for (std::uint64_t& slot : suspect_epochs_) {
+        if (slot != 0 && slot == msg.epoch) {
+          slot = 0;
+          confirmed = true;
+        }
       }
-      m_suspect_held_->Increment();
-      log_->Logf(sim_->now(),
-                 "reconfig: holding suspect epoch %llu (current %llu) for "
-                 "confirmation",
-                 static_cast<unsigned long long>(msg.epoch),
-                 static_cast<unsigned long long>(epoch_));
-      if (flight_->armed()) {
-        obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochHeld);
-        ev.epoch = msg.epoch;
-        ev.port = static_cast<std::int16_t>(inport);
-        ev.origin = msg.sender_uid;
-        flight_->Record(ev);
+      if (!confirmed) {
+        // Beyond anything a live neighbor's protocol produces: hold it
+        // until a second sighting of the same value (see
+        // kEpochConfirmJump).  A genuine sender's reliable retransmission
+        // confirms it; a one-off damaged field never matches and the epoch
+        // space stays unburnt.
+        suspect_epochs_[suspect_next_] = msg.epoch;
+        suspect_next_ = (suspect_next_ + 1) % suspect_epochs_.size();
+        if (m_suspect_held_ == nullptr) {
+          m_suspect_held_ = sim_->metrics().GetCounter(
+              "switch." + log_->node_name() + ".reconfig.suspect_epochs_held");
+        }
+        m_suspect_held_->Increment();
+        log_->Logf(sim_->now(),
+                   "reconfig: holding suspect epoch %llu (current %llu) for "
+                   "confirmation",
+                   static_cast<unsigned long long>(msg.epoch),
+                   static_cast<unsigned long long>(epoch_));
+        if (flight_->armed()) {
+          obs::FlightEvent ev = FlightBase(obs::FlightEventKind::kEpochHeld);
+          ev.epoch = msg.epoch;
+          ev.port = static_cast<std::int16_t>(inport);
+          ev.origin = msg.sender_uid;
+          flight_->Record(ev);
+        }
+        return;
       }
-      return;
     }
     JoinEpoch(msg.epoch,
               jump > kEpochConfirmJump ? "suspect epoch confirmed"

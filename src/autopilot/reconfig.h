@@ -55,17 +55,20 @@ class ReconfigEngine {
   // than joined (see OnMessage).
   static constexpr std::uint64_t kMaxEpochJump = std::uint64_t{1} << 32;
 
-  // Forward jumps up to this size are believed immediately — they cover
-  // every jump a healthy network produces (boot storms, a restarted switch
-  // rejoining after the network advanced while it was down).  A larger jump
-  // below kMaxEpochJump is *plausible* but suspicious: a single damaged
-  // epoch field that slipped past the CRC would otherwise silently burn up
-  // to 2^32 epochs of counter space.  Such a jump is held until the same
-  // epoch value is seen a second time (the sender's reliable-send
-  // retransmission confirms a genuine message within one retransmit period;
-  // independent corruption essentially never reproduces the same 64-bit
-  // value), so one damaged field can no longer move the epoch at all.
-  static constexpr std::uint64_t kEpochConfirmJump = 4096;
+  // Forward jumps of exactly one epoch — the only advance a neighbor's live
+  // protocol produces — are believed immediately.  Any larger jump below
+  // kMaxEpochJump is *plausible* (a boot storm burning several epochs, a
+  // restarted switch rejoining after the network advanced while it was
+  // down) but is also exactly what a damaged epoch field that slipped past
+  // the CRC looks like, so it is held until the same value is seen a second
+  // time: the sender's reliable retransmission confirms a genuine message
+  // within one retransmit period, while independent corruption essentially
+  // never reproduces the same 64-bit value.  Held values sit in a small
+  // ring (suspect_epochs_) so interleaved distinct suspects cannot evict
+  // each other indefinitely.  Net effect: no single damaged field can move
+  // the epoch register at all, at worst one retransmit period of added
+  // latency on a genuine multi-epoch jump.
+  static constexpr std::uint64_t kEpochConfirmJump = 1;
 
   struct Callbacks {
     // Queue a reconfiguration message out the given port (the caller
@@ -135,6 +138,14 @@ class ReconfigEngine {
   Uid position_root() const { return pos_root_; }
   int position_level() const { return pos_level_; }
   PortNum parent_port() const { return parent_port_; }
+
+  // Fault-injection surface (see src/adversary/): overwrites the raw epoch
+  // register the way a memory fault would, with no protocol action.
+  // Recovery is OnMessage's plausibility machinery: a register driven
+  // beyond its neighbors resyncs after kStaleResyncThreshold implausibly
+  // stale arrivals, one driven behind rejoins via the suspect-epoch
+  // confirmation path.
+  void CorruptEpochRegister(std::uint64_t value) { epoch_ = value; }
 
  private:
   struct PortState {
@@ -209,9 +220,22 @@ class ReconfigEngine {
   bool in_progress_ = false;
   bool config_applied_ = false;
   SwitchNum proposed_num_ = 1;
-  // A forward jump beyond kEpochConfirmJump awaiting its second sighting
-  // (0 = none).  Cleared whenever an epoch is joined.
-  std::uint64_t suspect_epoch_ = 0;
+  // Forward jumps beyond kEpochConfirmJump awaiting their second sighting
+  // (0 = empty slot), newest overwriting the oldest.  A ring rather than a
+  // single register so two genuine senders retransmitting different
+  // suspect epochs cannot evict each other forever.  Cleared whenever an
+  // epoch is joined.
+  static constexpr std::size_t kSuspectSlots = 4;
+  std::array<std::uint64_t, kSuspectSlots> suspect_epochs_{};
+  std::size_t suspect_next_ = 0;
+  // Consecutive arrivals implausibly far below the epoch register.  The
+  // stale branch can only see such a message when epoch_ itself exceeds
+  // kMaxEpochJump — a value no healthy network reaches — so reaching the
+  // threshold convicts the local register, not the senders, and OnMessage
+  // rejoins just above the neighbors' epoch.  The threshold guards against
+  // acting on a single damaged incoming field.
+  static constexpr int kStaleResyncThreshold = 3;
+  int implausibly_stale_ = 0;
 
   // Current position (self-root when pos_root_ == self_uid_).
   Uid pos_root_;
@@ -248,6 +272,8 @@ class ReconfigEngine {
   // instrument (keeps metric snapshots — and the chaos fingerprints over
   // them — byte-identical).
   obs::Counter* m_suspect_held_ = nullptr;
+  // Created lazily on the first epoch-register resync (same reasoning).
+  obs::Counter* m_epoch_resyncs_ = nullptr;
   Histogram* m_epoch_ms_;  // network-wide autopilot.reconfig.epoch_ms
   obs::FlightRing* flight_;  // owned by the simulator's flight recorder
   Tick last_join_time_ = -1;

@@ -51,8 +51,35 @@ class Skeptic {
 
   int level() const { return level_; }
 
+  // Fault-injection surface (see src/adversary/): overwrites the raw level
+  // and last-event registers, including values no operation produces.
+  // Recovery is the Repair clamp below, applied on the next Penalize or
+  // RequiredHolddown — Dolev-style self-stabilization for this state.
+  void CorruptState(int level, Tick last_event) {
+    level_ = level;
+    last_event_ = last_event;
+  }
+
  private:
+  // Self-repair of corrupted registers: a level outside [0, kMaxLevel] or
+  // an event stamp from the future cannot arise in operation — a negative
+  // level would disable hysteresis, an oversized one or a future stamp
+  // would freeze forgiveness (and with it, link re-admission) essentially
+  // forever.  Clamping into range on every consult bounds the damage of a
+  // memory fault to one hold-down cycle.
+  void Repair(Tick now) {
+    if (level_ < 0) {
+      level_ = 0;
+    } else if (level_ > kMaxLevel) {
+      level_ = kMaxLevel;
+    }
+    if (last_event_ > now) {
+      last_event_ = now;
+    }
+  }
+
   void Forgive(Tick now) {
+    Repair(now);
     if (forgiveness_ <= 0) {
       return;
     }

@@ -155,5 +155,101 @@ std::vector<Scenario> SloCorpus() {
   return scenarios;
 }
 
+// Adversary corpus conventions:
+//
+//  * The engine heals every cable it cut when it retires, and the phase-snipe
+//    scenarios seed a scripted cut/restore pair so there is a reconfiguration
+//    wave to snipe — lasting damage must come from what the *network* got
+//    wrong, never from an unfinished attack script.
+//
+//  * The corrupted-state scenarios are the self-stabilization battery: after
+//    arbitrary register damage the run must still pass the full oracle
+//    battery within the diameter-scaled deadline.  `adv-regress-*` scenarios
+//    pin weaknesses the adversary actually found (see DESIGN.md).
+const std::string& AdversaryCorpusText() {
+  static const std::string kText = R"(# Adversarial corpus: the feedback-driven attacker vs the hardened protocol.
+
+# -- reactive attack strategies ---------------------------------------------
+
+scenario adv-root-chase
+  # Cut a root-adjacent cable the moment each election settles.
+  adversary root-chase moves 3 duration 5s
+
+scenario adv-phase-snipe-tree
+  # Cut precisely while some switch is mid tree-position exchange.
+  adversary phase-snipe phase tree moves 2 duration 5s
+  at 100ms cut cable ?a
+  at 1s restore cable ?a
+
+scenario adv-phase-snipe-install
+  # Cut precisely during table installation — the worst moment: half the
+  # network is already loading the new configuration.  (The compute phase is
+  # a zero-width event in sim time and cannot be caught by polling.)
+  adversary phase-snipe phase install moves 2 duration 5s period 100us
+  at 100ms cut cable ?a
+  at 1s restore cable ?a
+
+scenario adv-storm
+  # Byzantine tree-position floods crafted near the victim's live epoch.
+  adversary storm moves 6 burst 8 duration 3s
+
+scenario adv-storm-under-load
+  workload rpc bytes 256 response 32 window 2
+  adversary storm moves 4 burst 6 duration 3s
+
+scenario adv-flap-resonance
+  # Re-cut the instant the skeptic re-admits the link: a flap oscillating at
+  # whatever the hold-down currently is.
+  adversary flap-resonance moves 4 duration 6s
+
+# -- corrupted-state recovery (self-stabilization battery) ------------------
+
+scenario adv-corrupt-table
+  adversary corrupt-table moves 4 duration 3s
+
+scenario adv-corrupt-skeptic
+  adversary corrupt-skeptic moves 3 duration 3s
+
+scenario adv-corrupt-port
+  adversary corrupt-port moves 3 duration 3s
+
+scenario adv-corrupt-epoch
+  # Forward epoch skew, with a scripted wave so the damage must wash out
+  # through a real reconfiguration.
+  adversary corrupt-epoch moves 3 amount 3 duration 4s
+  at 500ms cut cable ?a
+  at 1500ms restore cable ?a
+
+# -- regressions for weaknesses the adversary found -------------------------
+
+scenario adv-regress-epoch-runaway
+  # A runaway epoch register (past kMaxEpochJump) used to freeze the victim
+  # out of every future reconfiguration: neighbors dropped its implausible
+  # epoch and it dropped theirs as stale.  The stale-resync path now convicts
+  # the local register after repeated implausibly-stale sightings.
+  adversary corrupt-epoch moves 1 amount 0 duration 4s
+  at 500ms cut cable ?a
+  at 1500ms restore cable ?a
+
+scenario adv-regress-table-scrub
+  # Silently corrupted forwarding-table bits used to persist until a packet
+  # strayed; the autopilot's background scrub now reloads the image.
+  adversary corrupt-table moves 6 duration 3s
+)";
+  return kText;
+}
+
+std::vector<Scenario> AdversaryCorpus() {
+  std::string error;
+  std::vector<Scenario> scenarios =
+      ParseScenarios(AdversaryCorpusText(), &error);
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "built-in adversary corpus failed to parse: %s\n",
+                 error.c_str());
+    std::abort();
+  }
+  return scenarios;
+}
+
 }  // namespace chaos
 }  // namespace autonet

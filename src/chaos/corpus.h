@@ -28,6 +28,14 @@ std::vector<Scenario> DefaultCorpus();
 const std::string& SloCorpusText();
 std::vector<Scenario> SloCorpus();
 
+// The adversarial corpus: every strategy of the feedback-driven fault
+// adversary (src/adversary/), including the corrupted-state families that
+// demand Dolev-style self-stabilization, plus the regression scenarios for
+// weaknesses the adversary found.  CI's adversary-smoke job sweeps this
+// corpus; it must run clean post-hardening.
+const std::string& AdversaryCorpusText();
+std::vector<Scenario> AdversaryCorpus();
+
 }  // namespace chaos
 }  // namespace autonet
 

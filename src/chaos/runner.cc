@@ -7,6 +7,7 @@
 #include <map>
 #include <thread>
 
+#include "src/adversary/adversary.h"
 #include "src/chaos/executor.h"
 #include "src/obs/json.h"
 #include "src/obs/postmortem.h"
@@ -123,11 +124,16 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
   // reproducer line (a scenario-level one replays from the scenario text).
   const workload::Spec& wl =
       scenario.workload.enabled() ? scenario.workload : config.workload;
+  const adversary::Spec& adv =
+      scenario.adversary.enabled() ? scenario.adversary : config.adversary;
   std::string reproducer = config.reproducer_stem + " --scenario " +
                            scenario.name + " --topo " + topo.name +
                            " --seed " + std::to_string(seed);
   if (config.workload.enabled() && !scenario.workload.enabled()) {
     reproducer += " --workload '" + config.workload.ToText() + "'";
+  }
+  if (config.adversary.enabled() && !scenario.adversary.enabled()) {
+    reproducer += " --adversary '" + config.adversary.ToText() + "'";
   }
   auto violate = [&](const std::string& oracle, const std::string& detail) {
     result.violations.push_back({oracle, detail, reproducer, "", ""});
@@ -184,8 +190,21 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
   ScenarioExecutor executor(&net, scenario, seed);
   Tick script_start = net.sim().now();
   executor.Schedule(script_start);
-  if (executor.script_end() > net.sim().now()) {
-    net.Run(executor.script_end() - net.sim().now());
+  // The adversary engine is armed at script start and polls live network
+  // state; the run must be driven until it retires (its final heal executes
+  // at end()), so the oracle battery judges the network, not an unfinished
+  // attack.
+  std::unique_ptr<adversary::Engine> adv_engine;
+  if (adv.enabled()) {
+    adv_engine = std::make_unique<adversary::Engine>(&net, adv, seed);
+    adv_engine->Arm(script_start);
+  }
+  Tick run_until = executor.script_end();
+  if (adv_engine != nullptr) {
+    run_until = std::max(run_until, adv_engine->end());
+  }
+  if (run_until > net.sim().now()) {
+    net.Run(run_until - net.sim().now());
   }
   result.resolved_actions = executor.resolved();
 
@@ -233,6 +252,12 @@ RunResult RunOne(const CampaignConfig& config, const Scenario& scenario,
         violate(oracle, detail);
       }
     }
+  }
+  if (adv_engine != nullptr) {
+    result.adversary = adv.ToText();
+    result.adversary_transcript = adv_engine->transcript();
+    result.adversary_hash = adv_engine->TranscriptHash();
+    result.adversary_moves = adv_engine->moves_made();
   }
   attach_postmortem();
 
@@ -429,6 +454,19 @@ std::string CampaignReport::ToJson() const {
       // report is self-describing about what load the verdicts were under.
       w.Key("workload").String(r.workload);
       w.Key("slo").Raw(r.slo_json);
+    }
+    if (!r.adversary.empty()) {
+      // The armed adversary and its full move transcript, embedded per run
+      // so an adversarial report is self-describing about what the network
+      // survived (or didn't).
+      w.Key("adversary").String(r.adversary);
+      w.Key("adversary_hash").String(HexU64(r.adversary_hash));
+      w.Key("adversary_moves").Int(r.adversary_moves);
+      w.Key("adversary_transcript").BeginArray();
+      for (const std::string& line : r.adversary_transcript) {
+        w.String(line);
+      }
+      w.EndArray();
     }
     w.Key("actions").BeginArray();
     for (const std::string& a : r.resolved_actions) {

@@ -72,6 +72,11 @@ struct CampaignConfig {
   // SLO oracles.  A scenario-level `workload` line overrides this.  Disabled
   // by default so baseline campaigns stay byte-identical.
   workload::Spec workload;
+  // Campaign-level adversary (src/adversary/): when enabled, every run arms
+  // the feedback-driven fault engine at script start and is driven until the
+  // engine retires.  A scenario-level `adversary` line overrides this.
+  // Disabled by default so baseline campaigns stay byte-identical.
+  adversary::Spec adversary;
   workload::SloBudgetConfig slo_budget;
   // Workload phase lengths: steady-state before the script (the latency
   // baseline), recovery after quiescence (the post-reconfiguration sample),
@@ -100,6 +105,14 @@ struct RunResult {
   std::uint64_t metrics_hash = 0;  // FNV-1a over the metrics JSON snapshot
   double wall_ms = 0;              // host wall clock for this run
   std::vector<std::string> resolved_actions;
+
+  // Adversary results; `adversary` is empty when the run had none.  The
+  // transcript is one line per observation/move and its FNV-1a hash is
+  // byte-identical across replays of the same (scenario, topology, seed).
+  std::string adversary;
+  std::vector<std::string> adversary_transcript;
+  std::uint64_t adversary_hash = 0;
+  int adversary_moves = 0;
 
   // Workload / SLO results; `workload` is empty when the run had none.
   std::string workload;

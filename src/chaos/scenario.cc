@@ -151,6 +151,9 @@ std::string Scenario::ToText() const {
   if (workload.enabled()) {
     out << "  workload " << workload.ToText() << "\n";
   }
+  if (adversary.enabled()) {
+    out << "  adversary " << adversary.ToText() << "\n";
+  }
   for (const Action& a : actions) {
     out << "  ";
     switch (a.kind) {
@@ -318,7 +321,7 @@ std::vector<Scenario> ParseScenarios(const std::string& text,
       if (t.size() != 2) {
         return fail("expected: scenario <name>");
       }
-      scenarios.push_back(Scenario{t[1], {}, {}});
+      scenarios.push_back(Scenario{t[1], {}, {}, {}});
       continue;
     }
     if (scenarios.empty()) {
@@ -329,6 +332,14 @@ std::vector<Scenario> ParseScenarios(const std::string& text,
     if (t[0] == "workload") {
       std::string why;
       if (!workload::ParseSpec(t, 1, &s.workload, &why)) {
+        return fail(why);
+      }
+      continue;
+    }
+
+    if (t[0] == "adversary") {
+      std::string why;
+      if (!adversary::ParseSpec(t, 1, &s.adversary, &why)) {
         return fail(why);
       }
       continue;

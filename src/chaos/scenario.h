@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/adversary/spec.h"
 #include "src/common/time.h"
 #include "src/workload/spec.h"
 
@@ -67,6 +68,11 @@ struct Scenario {
   // workload-free run; a scenario-level workload overrides any
   // campaign-level one.
   workload::Spec workload;
+  // Optional feedback-driven adversary armed at script start (see
+  // src/adversary/).  kNone (the default) keeps the run byte-identical to
+  // an adversary-free run; a scenario-level adversary overrides any
+  // campaign-level one.
+  adversary::Spec adversary;
 
   // --- programmatic builders (all return *this for chaining) ---
   Scenario& CutCable(Tick at, int cable = kRandomTarget,
@@ -101,6 +107,7 @@ struct Scenario {
 //
 //   scenario <name>
 //     workload rpc|allreduce|streams [key value ...]
+//     adversary <strategy> [key value ...]     (see adversary::ParseSpec)
 //     at <time> cut cable <target>
 //     at <time> restore cable <target>
 //     at <time> crash switch <target>

@@ -107,6 +107,11 @@ struct InjectConfig {
   std::string topo = "small3";  // a check/chaos topology name
   std::uint64_t seed = 1;
   int count = 100;              // packets to inject
+  // Which parsers face the barrage: "switch" delivers into switch control
+  // processors (the original surface), "host" delivers host-parsed types
+  // (kHostAddress replies targeted at registered hosts' UIDs, kSrp bodies
+  // that exercise the driver and SRP-client parsers), "all" alternates.
+  std::string target = "switch";
   std::string reproducer_stem = "protocheck";
 };
 
@@ -120,10 +125,12 @@ struct InjectReport {
 };
 
 // Boots the named topology to consistency, then delivers `count` mutated
-// control-message bodies as intact packets straight into switch control
-// processors (the CRC-escaped-corruption model).  Afterwards the standard
-// chaos oracle battery must pass and the epoch must not have jumped beyond
-// ReconfigEngine::kMaxEpochJump.
+// control-message bodies as intact packets into the configured target
+// parsers (the CRC-escaped-corruption model): switch control processors,
+// and/or host-side parsers via fabric-forwarded packets.  Afterwards the
+// standard chaos oracle battery must pass, the epoch must stay within a
+// small linear burn budget, and every registered host's short address must
+// still name its actual attachment point.
 InjectReport FuzzInject(const InjectConfig& config);
 
 }  // namespace check

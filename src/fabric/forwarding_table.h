@@ -63,6 +63,13 @@ class ForwardingTable {
     return entries_ == other.entries_;
   }
 
+  // Fault-injection surface (see src/adversary/): XORs raw bits into one
+  // packed entry, modeling a memory fault in the table RAM.  Unlike Set this
+  // can produce encodings no software path writes.
+  void CorruptBits(PortNum inport, ShortAddress addr, std::uint16_t xor_mask) {
+    entries_[Index(inport, addr)] ^= xor_mask;
+  }
+
  private:
   static constexpr std::size_t kEntries =
       static_cast<std::size_t>(kPortsPerSwitch) * (ShortAddress::kMask + 1);

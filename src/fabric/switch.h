@@ -92,6 +92,14 @@ class Switch {
   // switch: every packet in transit through it is destroyed.
   void LoadForwardingTable(const ForwardingTable& table);
   const ForwardingTable& forwarding_table() const { return table_; }
+  // Fault-injection surface (see src/adversary/): flips bits in one live
+  // table entry in place — no reset, no table-load accounting, exactly a
+  // memory fault in the table RAM.  Autopilot's table scrubber is the
+  // recovery path.
+  void CorruptTableEntry(PortNum inport, ShortAddress addr,
+                         std::uint16_t xor_mask) {
+    table_.CorruptBits(inport, addr, xor_mask);
+  }
 
   Stats stats() const;
   EventLog& log() { return log_; }

@@ -64,6 +64,34 @@ void AutonetDriver::OnDelivery(Delivery d) {
     }
     last_response_ = controller_->sim()->now();
     ShortAddress addr(msg->short_address);
+    if (has_address_ && addr != address_) {
+      // Re-addressing a registered host is drastic: every peer's cached
+      // address for it goes stale.  A genuine re-address (the network
+      // reconfigured and the switch got a new number) always carries a
+      // newer epoch; a reply that does not — a delayed duplicate from the
+      // pre-reconfiguration topology, or a damaged address field that beat
+      // the CRC — used to re-address the host on the spot.  Hold such a
+      // change until a second reply names the same address (the ping
+      // cadence produces one within seconds; a one-off stale or corrupted
+      // reply never repeats).
+      constexpr std::uint64_t kMaxAddressEpochJump = std::uint64_t{1} << 32;
+      bool plausibly_newer = msg->epoch > address_epoch_ &&
+                             msg->epoch - address_epoch_ <= kMaxAddressEpochJump;
+      bool confirmed = pending_addr_valid_ && pending_addr_ == addr;
+      if (!plausibly_newer && !confirmed) {
+        pending_addr_valid_ = true;
+        pending_addr_ = addr;
+        ++stats_.addresses_held;
+        controller_->log().Logf(
+            controller_->sim()->now(),
+            "driver: holding address change %s -> %s (epoch %llu, have "
+            "%llu) for confirmation",
+            address_.ToString().c_str(), addr.ToString().c_str(),
+            static_cast<unsigned long long>(msg->epoch),
+            static_cast<unsigned long long>(address_epoch_));
+        return;
+      }
+    }
     if (!has_address_ || addr != address_) {
       has_address_ = true;
       address_ = addr;
@@ -76,6 +104,7 @@ void AutonetDriver::OnDelivery(Delivery d) {
         address_change_handler_(addr);
       }
     }
+    pending_addr_valid_ = false;
     address_epoch_ = msg->epoch;
     return;
   }
@@ -156,6 +185,7 @@ void AutonetDriver::FailOver(const char* reason) {
   // "After switching links, the driver forgets its short address and tries
   // to contact the local switch attached to the new link."
   has_address_ = false;
+  pending_addr_valid_ = false;
   active_since_ = controller_->sim()->now();
   last_response_ = controller_->sim()->now();  // restart the silence clock
   SendPing();

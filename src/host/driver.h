@@ -32,6 +32,7 @@ class AutonetDriver {
     std::uint64_t pings_sent = 0;
     std::uint64_t failovers = 0;
     std::uint64_t address_changes = 0;
+    std::uint64_t addresses_held = 0;  // implausible changes awaiting confirm
     std::uint64_t loopback_tests = 0;
     std::uint64_t loopback_failures = 0;
   };
@@ -56,6 +57,9 @@ class AutonetDriver {
   void SetReceiveHandler(ReceiveHandler handler) {
     receive_handler_ = std::move(handler);
   }
+  // The currently installed handler, for clients (e.g. SrpClient) that
+  // interpose on one packet type and chain everything else through.
+  const ReceiveHandler& receive_handler() const { return receive_handler_; }
   void SetAddressChangeHandler(AddressChangeHandler handler) {
     address_change_handler_ = std::move(handler);
   }
@@ -94,6 +98,11 @@ class AutonetDriver {
   bool has_address_ = false;
   ShortAddress address_;
   std::uint64_t address_epoch_ = 0;
+  // A re-address reply that did not carry a plausibly newer epoch, held
+  // until a second reply names the same address (see OnDelivery): one
+  // stale or damaged reply must not strip the host of a working address.
+  bool pending_addr_valid_ = false;
+  ShortAddress pending_addr_;
   Tick last_response_ = -1;
   Tick last_ping_ = -1;
   Tick active_since_ = 0;

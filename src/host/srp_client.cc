@@ -7,12 +7,24 @@
 namespace autonet {
 
 SrpClient::SrpClient(AutonetDriver* driver)
-    : driver_(driver), sim_(driver->controller()->sim()) {
+    : driver_(driver),
+      sim_(driver->controller()->sim()),
+      chained_(driver->receive_handler()) {
   driver_->SetReceiveHandler([this](Delivery d) { OnDelivery(std::move(d)); });
 }
 
 void SrpClient::OnDelivery(Delivery d) {
-  if (!d.intact() || d.packet->type != PacketType::kSrp) {
+  if (d.packet->type != PacketType::kSrp) {
+    // Not ours: pass through to the handler we displaced.  Dropping these
+    // would silence every other client on the host (found by host-side
+    // injection: the delivery oracle went dark the moment a client was
+    // installed, with the driver's address book fully intact).
+    if (chained_) {
+      chained_(std::move(d));
+    }
+    return;
+  }
+  if (!d.intact()) {
     return;
   }
   auto msg = SrpMsg::Parse(d.packet->payload);

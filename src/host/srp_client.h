@@ -27,9 +27,9 @@ namespace autonet {
 
 class SrpClient {
  public:
-  // Takes over the driver's receive handler for kSrp packets; other client
-  // packets continue to the handler installed afterwards (the client
-  // chains to any existing handler).
+  // Takes over the driver's receive handler for kSrp packets; every other
+  // delivery chains through to whatever handler was installed before the
+  // client (so installing an SRP client never silences other traffic).
   explicit SrpClient(AutonetDriver* driver);
 
   struct SwitchState {
@@ -90,6 +90,7 @@ class SrpClient {
 
   AutonetDriver* driver_;
   Simulator* sim_;
+  AutonetDriver::ReceiveHandler chained_;  // handler displaced at install
   std::uint64_t next_id_ = 0;
   std::map<std::uint64_t, SrpMsg> replies_;
 };

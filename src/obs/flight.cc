@@ -33,6 +33,10 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "config-compute";
     case FlightEventKind::kRouteInstall:
       return "route-install";
+    case FlightEventKind::kEpochResync:
+      return "epoch-resync";
+    case FlightEventKind::kAdversary:
+      return "adversary";
   }
   return "unknown";
 }

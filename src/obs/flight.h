@@ -50,6 +50,10 @@ enum class FlightEventKind : std::uint8_t {
   kConfigRecv,          // configuration received from parent
   kConfigCompute,       // route computation queued on the CP
   kRouteInstall,        // forwarding table loaded; a=1 full config, 0 one-hop
+  kEpochResync,         // epoch register concluded corrupt; rejoined just
+                        // above the neighbors' epoch
+  kAdversary,           // an adversary move against this switch; detail
+                        // names the strategy (src/adversary/)
 };
 
 // Short stable name ("epoch-join", "route-install", ...) for rendering.
@@ -103,6 +107,19 @@ class FlightRing {
 
   // Retained events, oldest first (unwraps the ring).
   std::vector<FlightEvent> Chronological() const;
+
+  // The newest retained event, or nullptr when empty — the cheap ring-tail
+  // peek for live consumers (the chaos adversary polls this every few
+  // milliseconds; Chronological() copies the whole ring).
+  const FlightEvent* Last() const {
+    if (events_.empty()) {
+      return nullptr;
+    }
+    std::size_t newest = events_.size() < capacity_
+                             ? events_.size() - 1
+                             : (head_ == 0 ? capacity_ - 1 : head_ - 1);
+    return &events_[newest];
+  }
 
  private:
   friend class FlightRecorder;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,7 @@
 #include "src/check/explore.h"
 #include "src/check/fuzz.h"
 #include "src/core/network.h"
+#include "src/host/srp_client.h"
 
 #ifndef AUTONET_TEST_DATA_DIR
 #define AUTONET_TEST_DATA_DIR "tests/data"
@@ -286,6 +288,67 @@ TEST(Inject, MutatedBarrageLeavesNetworkConsistent) {
   for (const FuzzFinding& f : report.findings) {
     ADD_FAILURE() << f.mutation << ": " << f.detail;
   }
+}
+
+TEST(Inject, HostParserBarrageLeavesAddressesIntact) {
+  // The host-side surface: targeted kHostAddress replies and SRP bodies,
+  // delivered fabric-forwarded into the driver and SRP-client parsers.
+  // Registered hosts must keep (or recover) the short address that names
+  // their actual attachment point — the driver's hold-then-confirm rule is
+  // what makes a one-shot forged re-address harmless.
+  InjectConfig config;
+  config.topo = "small3";
+  config.seed = 5;
+  config.count = 30;
+  config.target = "host";
+  InjectReport report = FuzzInject(config);
+  EXPECT_TRUE(report.booted);
+  EXPECT_EQ(report.injected, 30);
+  for (const FuzzFinding& f : report.findings) {
+    ADD_FAILURE() << f.mutation << ": " << f.detail;
+  }
+}
+
+TEST(Inject, MixedTargetBarrage) {
+  InjectConfig config;
+  config.topo = "small3";
+  config.seed = 11;
+  config.count = 40;
+  config.target = "all";
+  InjectReport report = FuzzInject(config);
+  EXPECT_TRUE(report.booted);
+  EXPECT_EQ(report.injected, 40);
+  for (const FuzzFinding& f : report.findings) {
+    ADD_FAILURE() << f.mutation << ": " << f.detail;
+  }
+}
+
+TEST(Inject, SrpClientChainsClientTraffic) {
+  // Regression for a weakness the host-side barrage surfaced: installing
+  // an SrpClient used to *replace* the driver's receive handler and drop
+  // every non-SRP delivery, silencing all other client traffic on the host
+  // while its address book stayed perfectly intact.  The client must chain
+  // displaced handlers through.
+  std::string error;
+  Network net(CheckTopologyByName("small3", &error));
+  ASSERT_TRUE(error.empty());
+  net.Boot();
+  ASSERT_TRUE(net.WaitForConsistency(40 * kSecond));
+  ASSERT_TRUE(net.WaitForHostsRegistered(net.sim().now() + 30 * kSecond));
+
+  std::vector<std::unique_ptr<SrpClient>> clients;
+  for (int h = 0; h < net.num_hosts(); ++h) {
+    clients.push_back(std::make_unique<SrpClient>(&net.driver_at(h)));
+  }
+  // The SRP path works through the client...
+  EXPECT_TRUE(clients[0]->Echo({}));
+  // ...and plain client data still reaches the inbox collection that the
+  // client displaced.
+  net.ClearInboxes();
+  ASSERT_TRUE(net.SendData(0, 1, 64));
+  net.Run(2 * kSecond);
+  EXPECT_FALSE(net.inbox(1).empty())
+      << "installing an SRP client silenced host1's client traffic";
 }
 
 // --- explorer ---
